@@ -1,0 +1,73 @@
+#pragma once
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Every figure bench accepts:
+//   --full         paper scale (15k/20k/25k tasks, 30 trials)
+//   --scale X      workload scale factor (default 0.1)
+//   --trials N     trials per configuration (default 8)
+//   --csv          machine-readable output instead of the ASCII table
+// Environment variables HCS_FULL / HCS_SCALE / HCS_TRIALS act as defaults.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+
+namespace hcs::bench {
+
+struct BenchArgs {
+  exp::PaperScenario::Options scenario;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    args.scenario = exp::PaperScenario::optionsFromEnv();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--full") {
+        args.scenario.scale = 1.0;
+        args.scenario.trials = 30;
+      } else if (arg == "--csv") {
+        args.csv = true;
+      } else if (arg == "--scale" && i + 1 < argc) {
+        args.scenario.scale = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--trials" && i + 1 < argc) {
+        args.scenario.trials = std::strtoul(argv[++i], nullptr, 10);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: %s [--full] [--scale X] [--trials N] [--csv]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline void printHeader(const BenchArgs& args, const char* figure,
+                        const char* caption) {
+  if (args.csv) return;
+  std::printf("=== %s ===\n%s\n", figure, caption);
+  std::printf(
+      "scale=%.3g (tasks x%.3g, span self-calibrated), trials=%zu, "
+      "PET seed=%llu\n\n",
+      args.scenario.scale, args.scenario.scale, args.scenario.trials,
+      static_cast<unsigned long long>(args.scenario.petSeed));
+}
+
+inline void emit(const BenchArgs& args, const exp::Table& table) {
+  if (args.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << std::flush;
+}
+
+}  // namespace hcs::bench

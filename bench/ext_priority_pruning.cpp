@@ -1,0 +1,76 @@
+// Extension (§VII future work): priority/cost-aware pruning.  20% of tasks
+// are premium (value 4).  Value-blind pruning maximizes the *count* of
+// on-time tasks; priority-aware pruning scales each task's pruning bar by
+// 1/value so premium tasks survive longer and cheap tasks are pruned
+// eagerly — raising value-weighted robustness.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ext/priority.h"
+#include "stats/confidence.h"
+
+int main(int argc, char** argv) {
+  using namespace hcs;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const exp::PaperScenario scenario(args.scenario);
+  bench::printHeader(
+      args, "Extension: priority-aware pruning (§VII)",
+      "MM + pruning at 25k-equivalent spiky load; 20% of tasks are premium "
+      "(value 4).\nWeighted robustness counts a premium completion 4x.");
+
+  const ext::ValueSpec values;  // 20% at value 4
+
+  exp::Table table({"pruning policy", "robustness %",
+                    "value-weighted robustness %"});
+  struct Policy {
+    const char* label;
+    bool enabled;
+    bool priorityAware;
+  };
+  for (const Policy& policy :
+       {Policy{"no pruning", false, false},
+        Policy{"value-blind pruning", true, false},
+        Policy{"priority-aware pruning", true, true}}) {
+    stats::RunningStats plain, weighted;
+    for (std::size_t trial = 0; trial < args.scenario.trials; ++trial) {
+      const workload::Workload base = workload::Workload::generate(
+          *scenario.pet(),
+          scenario.arrivalSpec(exp::PaperScenario::kRate25k,
+                               workload::ArrivalPattern::Spiky),
+          {}, 2019 + trial);
+      const workload::Workload wl =
+          ext::assignValues(base, values, 55 + trial);
+      core::SimulationConfig config;
+      config.heuristic = "MM";
+      config.warmupMargin = scenario.warmupMargin(exp::PaperScenario::kRate25k);
+      if (!policy.enabled) {
+        config.pruning = pruning::PruningConfig::disabled();
+      } else {
+        config.pruning.priorityAware = policy.priorityAware;
+        // Reference at the workload's mean value (0.8*1 + 0.2*4) so the
+        // adjustment reallocates capacity instead of loosening every bar.
+        config.pruning.priorityReference =
+            (1.0 - values.highFraction) * 1.0 +
+            values.highFraction * values.highValue;
+      }
+      const core::TrialResult result =
+          core::Simulation(scenario.hetero(), wl, config).run();
+      plain.add(result.robustnessPercent);
+      weighted.add(result.metrics.weightedRobustnessPercent());
+    }
+    table.addRow({policy.label,
+                  exp::formatCi(stats::meanConfidenceInterval(plain)),
+                  exp::formatCi(stats::meanConfidenceInterval(weighted))});
+  }
+  bench::emit(args, table);
+
+  if (!args.csv) {
+    std::cout << "\nExpected: priority-aware pruning raises the value-"
+                 "weighted score — premium tasks meet\ntheir deadlines at "
+                 "the expense of cheap ones (whose bar rises above the "
+                 "plain\nthreshold) — realizing the policy the paper "
+                 "sketches as future work.\n";
+  }
+  return 0;
+}

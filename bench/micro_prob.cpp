@@ -1,0 +1,74 @@
+// Micro-benchmarks for the PMF machinery — the per-decision costs behind
+// the paper's overhead discussion (§V-A: convolution cost is the pruning
+// mechanism's main overhead; memoization and a dedicated scheduling node
+// keep it off the worker machines).
+
+#include <benchmark/benchmark.h>
+
+#include "prob/histogram.h"
+#include "prob/pmf.h"
+#include "prob/rng.h"
+
+namespace {
+
+using hcs::prob::DiscretePmf;
+using hcs::prob::Rng;
+
+DiscretePmf makePmf(std::size_t bins, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> probs;
+  probs.reserve(bins);
+  for (std::size_t i = 0; i < bins; ++i) probs.push_back(rng.uniform(0.01, 1.0));
+  return DiscretePmf(1, std::move(probs));
+}
+
+void BM_Convolve(benchmark::State& state) {
+  const auto a = makePmf(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = makePmf(static_cast<std::size_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.convolve(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Convolve)->Args({16, 16})->Args({64, 64})->Args({256, 64})
+    ->Args({1024, 64})->Args({4096, 64});
+
+void BM_Cdf(benchmark::State& state) {
+  const auto pmf = makePmf(static_cast<std::size_t>(state.range(0)), 3);
+  const double deadline = pmf.minTime() + 0.7 * (pmf.maxTime() - pmf.minTime());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.successProbability(deadline));
+  }
+}
+BENCHMARK(BM_Cdf)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ConditionalRemaining(benchmark::State& state) {
+  const auto pmf = makePmf(static_cast<std::size_t>(state.range(0)), 4);
+  const double elapsed = pmf.mean() * 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.conditionalRemaining(elapsed));
+  }
+}
+BENCHMARK(BM_ConditionalRemaining)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GammaHistogramPmf(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hcs::prob::gammaHistogramPmf(
+        rng, 12.0, 6.0, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_GammaHistogramPmf)->Arg(500)->Arg(5000);
+
+void BM_Sample(benchmark::State& state) {
+  const auto pmf = makePmf(64, 6);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.sample(rng));
+  }
+}
+BENCHMARK(BM_Sample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

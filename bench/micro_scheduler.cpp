@@ -1,0 +1,90 @@
+// Micro-benchmarks for whole-trial simulation throughput: the cost of a
+// mapping heuristic with and without the pruning mechanism attached.
+// Supports the paper's §V-A claim that pruning's overhead is modest and
+// sits entirely on the resource-allocation node.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/simulation.h"
+#include "exp/scenario.h"
+
+namespace {
+
+using namespace hcs;
+
+struct Fixture {
+  Fixture() {
+    exp::PaperScenario::Options options;
+    options.scale = 0.02;  // ~300 tasks per trial: fast enough to iterate
+    options.trials = 1;
+    scenario = std::make_unique<exp::PaperScenario>(options);
+    workload = std::make_unique<workload::Workload>(
+        workload::Workload::generate(
+            *scenario->pet(),
+            scenario->arrivalSpec(exp::PaperScenario::kRate20k,
+                                  workload::ArrivalPattern::Spiky),
+            {}, 99));
+  }
+
+  std::unique_ptr<exp::PaperScenario> scenario;
+  std::unique_ptr<workload::Workload> workload;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void runTrial(benchmark::State& state, const std::string& heuristic,
+              bool prune) {
+  Fixture& f = fixture();
+  core::SimulationConfig config;
+  config.heuristic = heuristic;
+  config.pruning =
+      prune ? pruning::PruningConfig{} : pruning::PruningConfig::disabled();
+  config.warmupMargin = 0;
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    core::TrialResult result =
+        core::Simulation(f.scenario->hetero(), *f.workload, config).run();
+    benchmark::DoNotOptimize(result.robustnessPercent);
+    tasks += f.workload->size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks));
+}
+
+void BM_Trial_MM(benchmark::State& state) { runTrial(state, "MM", false); }
+void BM_Trial_MM_Pruned(benchmark::State& state) {
+  runTrial(state, "MM", true);
+}
+void BM_Trial_MSD(benchmark::State& state) { runTrial(state, "MSD", false); }
+void BM_Trial_MSD_Pruned(benchmark::State& state) {
+  runTrial(state, "MSD", true);
+}
+void BM_Trial_MMU(benchmark::State& state) { runTrial(state, "MMU", false); }
+void BM_Trial_MMU_Pruned(benchmark::State& state) {
+  runTrial(state, "MMU", true);
+}
+void BM_Trial_MCT(benchmark::State& state) { runTrial(state, "MCT", false); }
+void BM_Trial_MCT_Pruned(benchmark::State& state) {
+  runTrial(state, "MCT", true);
+}
+void BM_Trial_KPB(benchmark::State& state) { runTrial(state, "KPB", false); }
+void BM_Trial_RR(benchmark::State& state) { runTrial(state, "RR", false); }
+
+BENCHMARK(BM_Trial_MM);
+BENCHMARK(BM_Trial_MM_Pruned);
+BENCHMARK(BM_Trial_MSD);
+BENCHMARK(BM_Trial_MSD_Pruned);
+BENCHMARK(BM_Trial_MMU);
+BENCHMARK(BM_Trial_MMU_Pruned);
+BENCHMARK(BM_Trial_MCT);
+BENCHMARK(BM_Trial_MCT_Pruned);
+BENCHMARK(BM_Trial_KPB);
+BENCHMARK(BM_Trial_RR);
+
+}  // namespace
+
+BENCHMARK_MAIN();

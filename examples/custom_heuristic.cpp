@@ -1,0 +1,116 @@
+// Plugging the pruning mechanism into YOUR OWN mapping heuristic.
+//
+// The paper's central design claim is that the pruner attaches to an
+// existing resource-allocation system "without requiring any change in the
+// existing mapping heuristic" (§IV).  This example demonstrates that: it
+// implements a Least-Laxity-First batch heuristic the library does not
+// ship, runs it through the same Scheduler, and shows the pruning gain —
+// no pruning-aware code anywhere in the heuristic.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "heuristics/heuristic.h"
+#include "workload/pet_matrix.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace hcs;
+
+/// Least-Laxity-First: map the task with the smallest laxity
+/// (deadline - now - best expected execution) first, each to its
+/// minimum-expected-completion machine.  Knows nothing about pruning.
+class LeastLaxityFirst final : public heuristics::BatchHeuristic {
+ public:
+  std::string_view name() const override { return "LLF"; }
+
+  std::vector<heuristics::Assignment> map(
+      const heuristics::MappingContext& ctx,
+      std::span<const sim::TaskId> batch) override {
+    std::vector<sim::TaskId> order(batch.begin(), batch.end());
+    std::sort(order.begin(), order.end(), [&](sim::TaskId a, sim::TaskId b) {
+      return laxity(ctx, a) < laxity(ctx, b);
+    });
+
+    std::vector<double> ready(static_cast<std::size_t>(ctx.numMachines()));
+    std::vector<std::size_t> slots(
+        static_cast<std::size_t>(ctx.numMachines()));
+    for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
+      ready[static_cast<std::size_t>(j)] = ctx.expectedReady(j);
+      slots[static_cast<std::size_t>(j)] = ctx.freeSlots(j);
+    }
+    std::vector<heuristics::Assignment> out;
+    for (sim::TaskId task : order) {
+      const sim::TaskType type = ctx.pool()[task].type;
+      sim::MachineId best = sim::kInvalidMachine;
+      double bestEct = 0;
+      for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
+        if (slots[static_cast<std::size_t>(j)] == 0) continue;
+        const double ect = ready[static_cast<std::size_t>(j)] +
+                           ctx.model().expectedExec(type, j);
+        if (best == sim::kInvalidMachine || ect < bestEct) {
+          best = j;
+          bestEct = ect;
+        }
+      }
+      if (best == sim::kInvalidMachine) break;
+      out.push_back({task, best});
+      slots[static_cast<std::size_t>(best)] -= 1;
+      ready[static_cast<std::size_t>(best)] +=
+          ctx.model().expectedExec(type, best);
+    }
+    return out;
+  }
+
+ private:
+  double laxity(const heuristics::MappingContext& ctx, sim::TaskId id) const {
+    const sim::Task& t = ctx.pool()[id];
+    double bestExec = ctx.model().expectedExec(t.type, 0);
+    for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+      bestExec = std::min(bestExec, ctx.model().expectedExec(t.type, j));
+    }
+    return t.deadline - ctx.now() - bestExec;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto pet = std::make_shared<const workload::PetMatrix>(
+      workload::PetMatrix::specLike(21));
+  const auto cluster = workload::BoundExecutionModel::heterogeneous(pet);
+
+  workload::ArrivalSpec arrival;
+  arrival.span = 900.0;
+  arrival.totalTasks = 1800;
+  arrival.numTaskTypes = pet->numTaskTypes();
+  const workload::Workload wl =
+      workload::Workload::generate(*pet, arrival, {}, 13);
+
+  std::printf("custom Least-Laxity-First heuristic, %zu tasks, %d machines\n\n",
+              wl.size(), cluster.numMachines());
+  for (const bool prune : {false, true}) {
+    core::SimulationConfig config;
+    config.customBatchHeuristic = [] {
+      return std::make_unique<LeastLaxityFirst>();
+    };
+    config.pruning =
+        prune ? pruning::PruningConfig{} : pruning::PruningConfig::disabled();
+    config.warmupMargin = 50;
+    const core::TrialResult result =
+        core::Simulation(cluster, wl, config).run();
+    std::printf("LLF %-14s robustness %5.1f%%  (deferrals %zu, proactive "
+                "drops %zu)\n",
+                prune ? "+ pruning:" : "bare:", result.robustnessPercent,
+                result.metrics.deferrals(),
+                result.metrics.droppedProactive());
+  }
+  std::printf("\nThe heuristic contains zero pruning-aware code — the "
+              "mechanism wraps it.\n");
+  return 0;
+}

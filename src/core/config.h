@@ -1,0 +1,72 @@
+#pragma once
+// Simulation-level configuration: cluster shape, resource-allocation mode,
+// mapping heuristic, and the pruning plug-in.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "heuristics/registry.h"
+#include "pruning/config.h"
+#include "sim/trace.h"
+
+namespace hcs::core {
+
+/// Immediate-mode maps on arrival only; batch-mode holds an arrival queue
+/// and maps at every mapping event (Fig. 1).
+enum class AllocationMode {
+  Immediate,
+  Batch,
+};
+
+struct SimulationConfig {
+  /// Mapping heuristic name; see heuristics/registry.h for the roster.
+  /// RR/MET/MCT/KPB imply immediate mode, the rest batch mode.
+  std::string heuristic = "MM";
+
+  heuristics::HeuristicOptions heuristicOptions;
+
+  /// Bring-your-own batch heuristic: when set, overrides `heuristic` and
+  /// forces batch mode.  The pruning mechanism wraps it unchanged — the
+  /// paper's "plugged into any mapping heuristic" claim, as an API.
+  std::function<std::unique_ptr<heuristics::BatchHeuristic>()>
+      customBatchHeuristic;
+
+  /// Same for immediate-mode heuristics.
+  std::function<std::unique_ptr<heuristics::ImmediateHeuristic>()>
+      customImmediateHeuristic;
+
+  /// The pruning mechanism's configuration (PruningConfig::disabled() for
+  /// the paper's baselines).
+  pruning::PruningConfig pruning;
+
+  /// Max tasks in a machine's system (running + waiting) in batch mode;
+  /// immediate mode is always unbounded (an arriving task must be placed).
+  std::size_t machineQueueCapacity = 4;
+
+  /// If true, a running task is aborted (counted as a reactive drop) at the
+  /// first mapping event after its deadline passes.  Default off: the paper
+  /// lets started work finish (it just counts as late).
+  bool abortRunningAtDeadline = false;
+
+  /// Seed for sampling actual execution times.
+  std::uint64_t executionSeed = 0x5eed;
+
+  /// First/last arrivals excluded from robustness (§V-B uses 100).
+  std::size_t warmupMargin = 100;
+
+  /// Optional sink receiving every task lifecycle transition (see
+  /// sim/trace.h).  Null = no tracing (zero overhead).
+  sim::TraceSink traceSink;
+};
+
+/// Mode implied by the configured heuristic name.
+AllocationMode allocationModeFor(const std::string& heuristicName);
+
+/// Mode of a full configuration (accounts for custom heuristic overrides;
+/// setting both custom factories is an error).
+AllocationMode allocationModeFor(const SimulationConfig& config);
+
+}  // namespace hcs::core

@@ -1,0 +1,309 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hcs::core {
+
+AllocationMode allocationModeFor(const std::string& heuristicName) {
+  if (heuristics::isImmediateHeuristic(heuristicName)) {
+    return AllocationMode::Immediate;
+  }
+  if (heuristics::isBatchHeuristic(heuristicName)) {
+    return AllocationMode::Batch;
+  }
+  throw std::invalid_argument("allocationModeFor: unknown heuristic " +
+                              heuristicName);
+}
+
+AllocationMode allocationModeFor(const SimulationConfig& config) {
+  if (config.customBatchHeuristic && config.customImmediateHeuristic) {
+    throw std::invalid_argument(
+        "allocationModeFor: both custom heuristic factories set");
+  }
+  if (config.customBatchHeuristic) return AllocationMode::Batch;
+  if (config.customImmediateHeuristic) return AllocationMode::Immediate;
+  return allocationModeFor(config.heuristic);
+}
+
+Scheduler::Scheduler(const SimulationConfig& config, int numTaskTypes)
+    : config_(config),
+      mode_(allocationModeFor(config)),
+      accounting_(numTaskTypes),
+      pruner_(config.pruning, numTaskTypes) {
+  if (config.customBatchHeuristic) {
+    batch_ = config.customBatchHeuristic();
+  } else if (config.customImmediateHeuristic) {
+    immediate_ = config.customImmediateHeuristic();
+  } else if (mode_ == AllocationMode::Immediate) {
+    immediate_ =
+        heuristics::makeImmediate(config.heuristic, config.heuristicOptions);
+  } else {
+    batch_ = heuristics::makeBatch(config.heuristic, config.heuristicOptions);
+  }
+  if ((mode_ == AllocationMode::Batch && batch_ == nullptr) ||
+      (mode_ == AllocationMode::Immediate && immediate_ == nullptr)) {
+    throw std::invalid_argument("Scheduler: heuristic factory returned null");
+  }
+}
+
+heuristics::MappingContext Scheduler::makeContext(World& world,
+                                                  sim::Time now) const {
+  const std::size_t capacity = mode_ == AllocationMode::Immediate
+                                   ? heuristics::MappingContext::kUnbounded
+                                   : config_.machineQueueCapacity;
+  return heuristics::MappingContext(now, world.pool, world.machines,
+                                    world.model, capacity);
+}
+
+void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
+  world.pool[task].status = sim::TaskStatus::Batched;
+  emit(now, sim::TraceEventKind::Arrival, task);
+  if (mode_ == AllocationMode::Batch) {
+    batchQueue_.push_back(task);
+    mappingEvent(world, now);
+    return;
+  }
+  // Immediate mode: the pruning passes still run at this mapping event,
+  // then the mapper must place the arriving task right away.
+  mappingEvent(world, now);
+  const heuristics::MappingContext ctx = makeContext(world, now);
+  const sim::MachineId machine = immediate_->selectMachine(ctx, task);
+  if (machine < 0 || machine >= ctx.numMachines()) {
+    throw std::logic_error("Scheduler: heuristic chose an invalid machine");
+  }
+  dispatch(world, task, machine, now);
+}
+
+void Scheduler::handleCompletion(World& world, sim::MachineId machine,
+                                 sim::TaskId task, sim::Time now) {
+  sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
+  if (m.runningTask() != task) {
+    throw std::logic_error("Scheduler: completion for a non-running task");
+  }
+  sim::Task& t = world.pool[task];
+  const bool onTime = now <= t.deadline + 1e-9;
+  t.status = onTime ? sim::TaskStatus::CompletedOnTime
+                    : sim::TaskStatus::CompletedLate;
+  t.finishTime = now;
+  world.metrics.recordTerminal(t);
+  world.metrics.recordExecution(machine, now - t.startTime, onTime);
+  emit(now, sim::TraceEventKind::Completed, task, machine);
+  if (onTime) {
+    accounting_.recordOnTimeCompletion(t.type);
+  } else {
+    accounting_.recordDeadlineMiss(t.type);
+  }
+  // Do NOT promote the next queued task yet: the mapping event's pruning
+  // passes must see (and may drop) the queue's head first; idle machines
+  // start their surviving head task at the end of the event.
+  m.finishRunning(now, world.pool, world.model);
+  mappingEvent(world, now);
+}
+
+void Scheduler::mappingEvent(World& world, sim::Time now) {
+  ++mappingEvents_;
+  if (config_.abortRunningAtDeadline) {
+    abortOverdueRunning(world, now);
+  }
+  // Step 1: reactive drops of expired pending tasks (part of the pruning
+  // mechanism; the no-pruning baselines execute every mapped task).
+  if (config_.pruning.reactiveDropEnabled) {
+    reactiveDropPass(world, now);
+  }
+  // Steps 2-3: fairness update and Toggle evaluation over the interval.
+  pruner_.beginMappingEvent(accounting_.harvest());
+  // Steps 4-6: proactive drops from machine queues.
+  if (pruner_.droppingEngaged()) {
+    proactiveDropPass(world, now);
+  }
+  // Steps 7-11: map, defer, dispatch (batch mode only; immediate mode's
+  // placement happens in handleArrival right after this returns).
+  if (mode_ == AllocationMode::Batch) {
+    runBatchMapping(world, now);
+  }
+  // Machines left idle by a completion/abort now start the surviving head
+  // of their queue.
+  startIdleMachines(world, now);
+}
+
+void Scheduler::startIdleMachines(World& world, sim::Time now) {
+  for (sim::Machine& m : world.machines) {
+    const sim::TaskId started =
+        m.startNextIfIdle(now, world.pool, world.model);
+    if (started != sim::kInvalidTask) {
+      emit(now, sim::TraceEventKind::Started, started, m.id());
+      scheduleCompletion(world, m.id(), started, now);
+    }
+  }
+}
+
+void Scheduler::dropTask(World& world, sim::TaskId task, sim::Time now,
+                         sim::TaskStatus reason) {
+  sim::Task& t = world.pool[task];
+  t.status = reason;
+  t.finishTime = now;
+  world.metrics.recordTerminal(t);
+  emit(now,
+       reason == sim::TaskStatus::DroppedReactive
+           ? sim::TraceEventKind::DroppedReactive
+           : sim::TraceEventKind::DroppedProactive,
+       task, t.machine);
+  if (reason == sim::TaskStatus::DroppedReactive) {
+    accounting_.recordDeadlineMiss(t.type);
+  } else {
+    accounting_.recordProactiveDrop(t.type);
+    // Fig. 5 step 6: gamma_k <- gamma_k + c on a *proactive* drop.  (§IV-D's
+    // prose could be read as counting reactive drops too; the ablation bench
+    // shows that variant grants suffering types such lax bars that they
+    // occupy machines with hopeless work — we follow the pseudo-code.)
+    pruner_.recordDrop(t.type);
+  }
+}
+
+void Scheduler::reactiveDropPass(World& world, sim::Time now) {
+  // Batch (arrival) queue.
+  std::erase_if(batchQueue_, [&](sim::TaskId id) {
+    if (!world.pool[id].missedDeadline(now)) return false;
+    dropTask(world, id, now, sim::TaskStatus::DroppedReactive);
+    return true;
+  });
+  // Machine queues (the running task is past saving only under the
+  // abort-at-deadline policy, handled separately).
+  for (sim::Machine& m : world.machines) {
+    std::vector<sim::TaskId> overdue;
+    for (sim::TaskId id : m.queue()) {
+      if (world.pool[id].missedDeadline(now)) overdue.push_back(id);
+    }
+    for (sim::TaskId id : overdue) {
+      m.removeQueued(id, now, world.pool, world.model);
+      dropTask(world, id, now, sim::TaskStatus::DroppedReactive);
+    }
+  }
+}
+
+void Scheduler::proactiveDropPass(World& world, sim::Time now) {
+  for (sim::Machine& m : world.machines) {
+    if (m.queueLength() == 0) continue;
+    // Walk the queue front to back, accumulating the PCT chain (Eq. 1).
+    // A dropped task's PET is excluded from the accumulator, so tasks
+    // behind it immediately see the improved (less uncertain) chain.
+    prob::DiscretePmf acc = m.availabilityPct(now, world.pool, world.model);
+    std::vector<sim::TaskId> toDrop;
+    for (sim::TaskId id : m.queue()) {
+      const sim::Task& t = world.pool[id];
+      const prob::DiscretePmf pct =
+          acc.convolve(world.model.pet(t.type, m.id()));
+      const double chance = pct.successProbability(t.deadline);
+      if (pruner_.shouldDrop(t.type, chance, t.value)) {
+        toDrop.push_back(id);
+      } else {
+        acc = pct;
+      }
+    }
+    for (sim::TaskId id : toDrop) {
+      m.removeQueued(id, now, world.pool, world.model);
+      dropTask(world, id, now, sim::TaskStatus::DroppedProactive);
+    }
+  }
+}
+
+void Scheduler::runBatchMapping(World& world, sim::Time now) {
+  std::unordered_set<sim::TaskId> deferredThisEvent;
+  while (!batchQueue_.empty()) {
+    // Tasks deferred in this event are out of the running until the next
+    // mapping event (step 10 defers "to the next mapping event").
+    std::vector<sim::TaskId> candidates;
+    candidates.reserve(batchQueue_.size());
+    for (sim::TaskId id : batchQueue_) {
+      if (!deferredThisEvent.contains(id)) candidates.push_back(id);
+    }
+    if (candidates.empty()) break;
+
+    const heuristics::MappingContext ctx = makeContext(world, now);
+    const std::vector<heuristics::Assignment> assignments =
+        batch_->map(ctx, candidates);
+    if (assignments.empty()) break;  // queues full or nothing mappable
+
+    bool dispatchedAny = false;
+    for (const heuristics::Assignment& a : assignments) {
+      const sim::Task& t = world.pool[a.task];
+      // Step 10: chance of success on the *live* machine state (earlier
+      // dispatches in this event are already reflected in the tail PCT).
+      const double chance = ctx.successChance(a.task, a.machine);
+      if (pruner_.shouldDefer(t.type, chance, t.value)) {
+        deferredThisEvent.insert(a.task);
+        ++world.pool[a.task].deferrals;
+        world.metrics.recordDeferral();
+        emit(now, sim::TraceEventKind::Deferred, a.task, a.machine);
+        continue;
+      }
+      dispatch(world, a.task, a.machine, now);
+      std::erase(batchQueue_, a.task);
+      dispatchedAny = true;
+    }
+    if (!dispatchedAny) break;  // everything mappable was deferred
+  }
+}
+
+void Scheduler::dispatch(World& world, sim::TaskId task, sim::MachineId machine,
+                         sim::Time now) {
+  sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
+  emit(now, sim::TraceEventKind::Dispatched, task, machine);
+  const bool started = m.dispatch(task, now, world.pool, world.model);
+  if (started) {
+    emit(now, sim::TraceEventKind::Started, task, machine);
+    scheduleCompletion(world, machine, task, now);
+  }
+}
+
+void Scheduler::scheduleCompletion(World& world, sim::MachineId machine,
+                                   sim::TaskId task, sim::Time now) {
+  const sim::Task& t = world.pool[task];
+  const double exec = world.model.pet(t.type, machine).sample(world.execRng);
+  if (completionSeq_.size() < world.machines.size()) {
+    completionSeq_.resize(world.machines.size(), 0);
+  }
+  completionSeq_[static_cast<std::size_t>(machine)] = world.events.nextSeq();
+  world.events.push(now + exec, sim::EventKind::TaskCompletion, task, machine);
+}
+
+void Scheduler::abortOverdueRunning(World& world, sim::Time now) {
+  for (sim::Machine& m : world.machines) {
+    if (!m.busy()) continue;
+    sim::TaskId running = m.runningTask();
+    if (!world.pool[running].missedDeadline(now)) continue;
+    world.events.cancel(completionSeq_[static_cast<std::size_t>(m.id())]);
+    const sim::Time started = world.pool[running].startTime;
+    m.abortRunning(now, world.pool, world.model);
+    emit(now, sim::TraceEventKind::Aborted, running, m.id());
+    dropTask(world, running, now, sim::TaskStatus::DroppedReactive);
+    world.metrics.recordExecution(m.id(), now - started, /*useful=*/false);
+    // The successor starts in startIdleMachines(), after the reactive and
+    // proactive passes have had a chance to drop it.
+  }
+}
+
+void Scheduler::finalize(World& world, sim::Time now) {
+  // Tasks still in the batch queue when the trial drains can never run:
+  // count overdue ones as reactive drops, the rest as proactive (they were
+  // deferred until the system went idle).
+  for (sim::TaskId id : batchQueue_) {
+    const bool overdue = world.pool[id].missedDeadline(now);
+    dropTask(world, id, now,
+             overdue ? sim::TaskStatus::DroppedReactive
+                     : sim::TaskStatus::DroppedProactive);
+  }
+  batchQueue_.clear();
+}
+
+void Scheduler::emit(sim::Time time, sim::TraceEventKind kind,
+                     sim::TaskId task, sim::MachineId machine) const {
+  if (config_.traceSink) {
+    config_.traceSink(sim::TraceEvent{time, kind, task, machine});
+  }
+}
+
+}  // namespace hcs::core

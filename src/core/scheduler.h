@@ -1,0 +1,90 @@
+#pragma once
+// The resource-allocation system (Fig. 1c): a mapping heuristic with the
+// pruning mechanism attached.  Implements the per-mapping-event procedure of
+// Fig. 5 against the simulator substrate.
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "heuristics/heuristic.h"
+#include "prob/rng.h"
+#include "pruning/accounting.h"
+#include "pruning/pruner.h"
+#include "sim/event_queue.h"
+#include "sim/machine.h"
+#include "sim/metrics.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace hcs::core {
+
+/// The mutable simulation state a scheduler operates on; owned by
+/// Simulation, borrowed per call (keeps the scheduler unit-testable with a
+/// hand-built world).
+struct World {
+  sim::TaskPool& pool;
+  std::vector<sim::Machine>& machines;
+  sim::EventQueue& events;
+  sim::Metrics& metrics;
+  prob::Rng& execRng;
+  const sim::ExecutionModel& model;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const SimulationConfig& config, int numTaskTypes);
+
+  AllocationMode mode() const { return mode_; }
+  const pruning::Pruner& pruner() const { return pruner_; }
+  const pruning::Accounting& accounting() const { return accounting_; }
+  std::size_t mappingEvents() const { return mappingEvents_; }
+  std::size_t batchQueueLength() const { return batchQueue_.size(); }
+
+  /// A new task entered the system.  Immediate mode maps it on the spot;
+  /// batch mode adds it to the arrival queue and runs a mapping event.
+  void handleArrival(World& world, sim::TaskId task, sim::Time now);
+
+  /// A machine finished its running task.  Records the outcome, promotes
+  /// the next queued task, and (batch mode) runs a mapping event.
+  void handleCompletion(World& world, sim::MachineId machine, sim::TaskId task,
+                        sim::Time now);
+
+  /// Drains bookkeeping after the last event (e.g. tasks still waiting in
+  /// the batch queue when the trial ends count as reactive drops: they can
+  /// no longer meet any deadline in a finished trial).
+  void finalize(World& world, sim::Time now);
+
+ private:
+  // Fig. 5 steps, in order.
+  void reactiveDropPass(World& world, sim::Time now);       // step 1
+  void proactiveDropPass(World& world, sim::Time now);      // steps 4-6
+  void runBatchMapping(World& world, sim::Time now);        // steps 7-11
+  void startIdleMachines(World& world, sim::Time now);      // step 11 tail
+  void mappingEvent(World& world, sim::Time now);           // the whole figure
+
+  void dropTask(World& world, sim::TaskId task, sim::Time now,
+                sim::TaskStatus reason);
+  void dispatch(World& world, sim::TaskId task, sim::MachineId machine,
+                sim::Time now);
+  void scheduleCompletion(World& world, sim::MachineId machine,
+                          sim::TaskId task, sim::Time now);
+  void abortOverdueRunning(World& world, sim::Time now);
+
+  heuristics::MappingContext makeContext(World& world, sim::Time now) const;
+  void emit(sim::Time time, sim::TraceEventKind kind, sim::TaskId task,
+            sim::MachineId machine = sim::kInvalidMachine) const;
+
+  SimulationConfig config_;
+  AllocationMode mode_;
+  std::unique_ptr<heuristics::ImmediateHeuristic> immediate_;
+  std::unique_ptr<heuristics::BatchHeuristic> batch_;
+  pruning::Accounting accounting_;
+  pruning::Pruner pruner_;
+  std::vector<sim::TaskId> batchQueue_;
+  /// Pending completion-event sequence number per machine (for aborts).
+  std::vector<std::uint64_t> completionSeq_;
+  std::size_t mappingEvents_ = 0;
+};
+
+}  // namespace hcs::core

@@ -1,0 +1,73 @@
+#include "core/simulation.h"
+
+#include <stdexcept>
+
+namespace hcs::core {
+
+Simulation::Simulation(const sim::ExecutionModel& model,
+                       const workload::Workload& workload,
+                       SimulationConfig config)
+    : model_(model), workload_(workload), config_(std::move(config)) {
+  if (workload.numTaskTypes() != model.numTaskTypes()) {
+    throw std::invalid_argument(
+        "Simulation: workload / model task-type count mismatch");
+  }
+}
+
+TrialResult Simulation::run() {
+  const double binWidth = model_.pet(0, 0).binWidth();
+  const bool batchMode =
+      allocationModeFor(config_) == AllocationMode::Batch;
+
+  sim::TaskPool pool;
+  std::vector<sim::Machine> machines;
+  machines.reserve(static_cast<std::size_t>(model_.numMachines()));
+  for (int j = 0; j < model_.numMachines(); ++j) {
+    machines.emplace_back(j, binWidth, /*trackTail=*/batchMode);
+  }
+  sim::EventQueue events;
+  sim::Metrics metrics(model_.numTaskTypes());
+  metrics.setCounted(workload_.countedMask(config_.warmupMargin));
+  prob::Rng execRng(config_.executionSeed);
+
+  for (const workload::TaskSpec& spec : workload_.tasks()) {
+    const sim::TaskId id =
+        pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
+    events.push(spec.arrival, sim::EventKind::TaskArrival, id);
+  }
+
+  Scheduler scheduler(config_, model_.numTaskTypes());
+  World world{pool, machines, events, metrics, execRng, model_};
+
+  sim::Time now = 0;
+  while (auto event = events.tryPop()) {
+    now = event->time;
+    switch (event->kind) {
+      case sim::EventKind::TaskArrival:
+        scheduler.handleArrival(world, event->task, now);
+        break;
+      case sim::EventKind::TaskCompletion:
+        scheduler.handleCompletion(world, event->machine, event->task, now);
+        break;
+    }
+  }
+  scheduler.finalize(world, now);
+
+  TrialResult result{.metrics = std::move(metrics),
+                     .robustnessPercent = 0.0,
+                     .machineUtilization = {},
+                     .fairnessScores = {},
+                     .mappingEvents = 0,
+                     .makespan = 0};
+  result.robustnessPercent = result.metrics.robustnessPercent();
+  result.makespan = now;
+  result.mappingEvents = scheduler.mappingEvents();
+  result.fairnessScores = scheduler.pruner().fairness().scores();
+  result.machineUtilization.reserve(machines.size());
+  for (const sim::Machine& m : machines) {
+    result.machineUtilization.push_back(now > 0 ? m.busyTime() / now : 0.0);
+  }
+  return result;
+}
+
+}  // namespace hcs::core

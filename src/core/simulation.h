@@ -1,0 +1,47 @@
+#pragma once
+// Single-trial simulation: feeds one workload through a configured resource
+// allocation system and reports the trial's outcome.
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/scheduler.h"
+#include "sim/metrics.h"
+#include "workload/workload.h"
+
+namespace hcs::core {
+
+/// Everything a trial produces.
+struct TrialResult {
+  sim::Metrics metrics;
+
+  /// % of counted tasks completed on time — the paper's robustness metric.
+  double robustnessPercent = 0.0;
+
+  /// Per-machine busy-time / makespan.
+  std::vector<double> machineUtilization;
+
+  /// Final per-type sufferage scores (diagnostics for the Fairness module).
+  std::vector<double> fairnessScores;
+
+  std::size_t mappingEvents = 0;
+  sim::Time makespan = 0;  ///< time of the last event in the trial
+};
+
+/// Runs one workload trial to completion.  Deterministic: the same model,
+/// workload, and config always produce the same result.
+class Simulation {
+ public:
+  /// `model` must outlive run().
+  Simulation(const sim::ExecutionModel& model,
+             const workload::Workload& workload, SimulationConfig config);
+
+  TrialResult run();
+
+ private:
+  const sim::ExecutionModel& model_;
+  const workload::Workload& workload_;
+  SimulationConfig config_;
+};
+
+}  // namespace hcs::core

@@ -1,0 +1,52 @@
+#include "exp/experiment.h"
+
+#include <stdexcept>
+
+namespace hcs::exp {
+
+ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
+                               const ExperimentSpec& spec) {
+  if (spec.trials == 0) {
+    throw std::invalid_argument("runExperiment: need at least one trial");
+  }
+  ExperimentResult result;
+  for (std::size_t trial = 0; trial < spec.trials; ++trial) {
+    const std::uint64_t workloadSeed = spec.baseSeed + trial;
+    const workload::Workload wl = workload::Workload::generate(
+        model.matrix(), spec.arrival, spec.deadline, workloadSeed);
+
+    core::SimulationConfig simConfig = spec.sim;
+    // Independent execution randomness per trial, decoupled from the
+    // workload stream.
+    simConfig.executionSeed = workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
+
+    core::TrialResult tr = core::Simulation(model, wl, simConfig).run();
+
+    result.robustness.add(tr.robustnessPercent);
+    result.perTrialRobustness.push_back(tr.robustnessPercent);
+
+    const double counted =
+        static_cast<double>(tr.metrics.countedTasks());
+    if (counted > 0) {
+      result.completedLatePct.add(
+          100.0 * static_cast<double>(tr.metrics.completedLate()) / counted);
+      result.droppedReactivePct.add(
+          100.0 * static_cast<double>(tr.metrics.droppedReactive()) / counted);
+      result.droppedProactivePct.add(
+          100.0 * static_cast<double>(tr.metrics.droppedProactive()) /
+          counted);
+      result.deferralsPerTask.add(
+          static_cast<double>(tr.metrics.deferrals()) / counted);
+    }
+    double utilization = 0.0;
+    for (double u : tr.machineUtilization) utilization += u;
+    if (!tr.machineUtilization.empty()) {
+      utilization /= static_cast<double>(tr.machineUtilization.size());
+    }
+    result.meanUtilization.add(utilization);
+  }
+  result.robustnessCi = stats::meanConfidenceInterval(result.robustness);
+  return result;
+}
+
+}  // namespace hcs::exp

@@ -1,0 +1,88 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcs::exp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: empty header");
+  }
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+/// Terminal cells occupied by a UTF-8 string (counts code points, not
+/// bytes; the tables only use single-width characters such as '±').
+std::size_t displayWidth(const std::string& s) {
+  std::size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;  // skip UTF-8 continuation bytes
+  }
+  return width;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = displayWidth(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], displayWidth(row[c]));
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c]
+          << std::string(width[c] - displayWidth(row[c]), ' ') << " |";
+    }
+    out << '\n';
+  };
+  printRow(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+void Table::printCsv(std::ostream& out) const {
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  printRow(header_);
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string formatValue(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string formatCi(const stats::ConfidenceInterval& ci, int precision) {
+  return formatValue(ci.mean, precision) + " ±" +
+         formatValue(ci.halfWidth, precision);
+}
+
+}  // namespace hcs::exp

@@ -1,0 +1,35 @@
+#pragma once
+// Table/CSV reporting for bench binaries: prints the rows/series behind the
+// paper's figures with mean +/- 95% CI, the way §V-A reports them.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.h"
+
+namespace hcs::exp {
+
+/// Fixed-width ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  void printCsv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "62.3 ±1.8" — the mean and 95% CI half-width.
+std::string formatCi(const stats::ConfidenceInterval& ci, int precision = 1);
+
+/// "62.3" with fixed precision.
+std::string formatValue(double value, int precision = 1);
+
+}  // namespace hcs::exp

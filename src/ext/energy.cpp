@@ -1,0 +1,78 @@
+#include "ext/energy.h"
+
+#include <stdexcept>
+
+namespace hcs::ext {
+
+PowerModel PowerModel::uniform(int numMachines, double busy, double idle) {
+  if (numMachines <= 0) {
+    throw std::invalid_argument("PowerModel: need at least one machine");
+  }
+  if (busy < idle || idle < 0.0) {
+    throw std::invalid_argument("PowerModel: need busy >= idle >= 0");
+  }
+  PowerModel model;
+  model.busyPower.assign(static_cast<std::size_t>(numMachines), busy);
+  model.idlePower.assign(static_cast<std::size_t>(numMachines), idle);
+  return model;
+}
+
+PowerModel PowerModel::proportional(const std::vector<double>& speedFactors,
+                                    double baseBusy, double baseIdle) {
+  if (speedFactors.empty()) {
+    throw std::invalid_argument("PowerModel: need at least one machine");
+  }
+  PowerModel model;
+  model.busyPower.reserve(speedFactors.size());
+  model.idlePower.reserve(speedFactors.size());
+  for (double speed : speedFactors) {
+    if (speed <= 0.0) {
+      throw std::invalid_argument("PowerModel: speed factors must be positive");
+    }
+    model.busyPower.push_back(baseBusy * speed);
+    model.idlePower.push_back(baseIdle);
+  }
+  return model;
+}
+
+CostModel CostModel::uniform(int numMachines, double price) {
+  if (numMachines <= 0 || price < 0.0) {
+    throw std::invalid_argument("CostModel: bad parameters");
+  }
+  CostModel model;
+  model.pricePerTimeUnit.assign(static_cast<std::size_t>(numMachines), price);
+  return model;
+}
+
+EnergyCostReport assess(const core::TrialResult& trial,
+                        const PowerModel& power, const CostModel& cost) {
+  const auto& split = trial.metrics.perMachineExecution();
+  if (power.busyPower.size() < split.size() ||
+      power.idlePower.size() < split.size() ||
+      cost.pricePerTimeUnit.size() < split.size()) {
+    throw std::invalid_argument("assess: models cover fewer machines than "
+                                "the trial used");
+  }
+  EnergyCostReport report;
+  for (std::size_t j = 0; j < power.busyPower.size(); ++j) {
+    const double busy = power.busyPower[j];
+    const double idle = power.idlePower[j];
+    const sim::Metrics::ExecutionSplit machineSplit =
+        j < split.size() ? split[j] : sim::Metrics::ExecutionSplit{};
+    report.usefulEnergy += machineSplit.useful * busy;
+    report.wastedEnergy += machineSplit.wasted * busy;
+    const double idleTime = trial.makespan - machineSplit.total();
+    report.idleEnergy += (idleTime > 0 ? idleTime : 0.0) * idle;
+    if (j < cost.pricePerTimeUnit.size()) {
+      report.totalCost += trial.makespan * cost.pricePerTimeUnit[j];
+    }
+  }
+  report.totalEnergy =
+      report.usefulEnergy + report.wastedEnergy + report.idleEnergy;
+  const auto onTime = trial.metrics.completedOnTime();
+  report.costPerOnTimeTask =
+      onTime > 0 ? report.totalCost / static_cast<double>(onTime) : 0.0;
+  return report;
+}
+
+}  // namespace hcs::ext

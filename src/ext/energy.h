@@ -1,0 +1,67 @@
+#pragma once
+// Energy and cost accounting — the paper's §VII future work:
+//
+//   "We believe that probabilistic task pruning improves energy efficiency
+//    by saving the computing power that is otherwise wasted to execute
+//    failing tasks.  Such saving in computing can also reduce the incurred
+//    cost of using cloud resources ... In the future, we plan to measure
+//    such improvements in energy and incurred cost."
+//
+// This module measures them.  Machine time is split by the simulator into
+// useful (tasks that completed on time) and wasted (late or aborted
+// executions); a per-machine power model and a per-machine price turn the
+// split into joule-equivalents and currency.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/simulation.h"
+#include "sim/types.h"
+
+namespace hcs::ext {
+
+/// Per-machine power draw (arbitrary power units, e.g. watts).
+struct PowerModel {
+  std::vector<double> busyPower;
+  std::vector<double> idlePower;
+
+  /// Every machine draws the same busy/idle power.
+  static PowerModel uniform(int numMachines, double busy, double idle);
+
+  /// Busy power proportional to machine speed (faster machines burn more):
+  /// busy_j = baseBusy * speedFactor_j, idle_j = baseIdle.
+  static PowerModel proportional(const std::vector<double>& speedFactors,
+                                 double baseBusy, double baseIdle);
+};
+
+/// Per-machine price per time unit (e.g. cloud rental rate).
+struct CostModel {
+  std::vector<double> pricePerTimeUnit;
+
+  static CostModel uniform(int numMachines, double price);
+};
+
+/// The energy/cost outcome of one trial.
+struct EnergyCostReport {
+  double usefulEnergy = 0;  ///< busy energy spent on on-time completions
+  double wastedEnergy = 0;  ///< busy energy spent on failing tasks
+  double idleEnergy = 0;    ///< idle draw over the makespan
+  double totalEnergy = 0;
+
+  double totalCost = 0;           ///< makespan rental of every machine
+  double costPerOnTimeTask = 0;   ///< totalCost / on-time completions
+
+  /// Fraction of busy energy that was wasted — the paper's §VII quantity.
+  double wastedBusyFraction() const {
+    const double busy = usefulEnergy + wastedEnergy;
+    return busy > 0 ? wastedEnergy / busy : 0.0;
+  }
+};
+
+/// Derives the energy/cost report of a finished trial.
+/// Throws std::invalid_argument if the models' machine counts do not cover
+/// the trial's machines.
+EnergyCostReport assess(const core::TrialResult& trial,
+                        const PowerModel& power, const CostModel& cost);
+
+}  // namespace hcs::ext

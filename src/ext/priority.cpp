@@ -1,0 +1,23 @@
+#include "ext/priority.h"
+
+#include <stdexcept>
+
+#include "prob/rng.h"
+
+namespace hcs::ext {
+
+workload::Workload assignValues(const workload::Workload& workload,
+                                const ValueSpec& spec, std::uint64_t seed) {
+  if (spec.highValue <= 0.0 || spec.highFraction < 0.0 ||
+      spec.highFraction > 1.0) {
+    throw std::invalid_argument("assignValues: malformed value spec");
+  }
+  prob::Rng rng(seed);
+  std::vector<workload::TaskSpec> tasks = workload.tasks();
+  for (workload::TaskSpec& t : tasks) {
+    t.value = rng.uniform01() < spec.highFraction ? spec.highValue : 1.0;
+  }
+  return workload::Workload(std::move(tasks), workload.numTaskTypes());
+}
+
+}  // namespace hcs::ext

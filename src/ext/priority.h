@@ -1,0 +1,24 @@
+#pragma once
+// Priority/value assignment for workloads — companion to the §VII
+// priority-aware pruning knob (PruningConfig::priorityAware).
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace hcs::ext {
+
+/// Two-class value assignment: a random `highFraction` of tasks get
+/// `highValue`, the rest keep value 1.0 (e.g. premium-tier requests in a
+/// serverless platform).
+struct ValueSpec {
+  double highValue = 4.0;
+  double highFraction = 0.2;
+};
+
+/// Returns a copy of `workload` with values assigned per `spec`,
+/// deterministically from `seed`.
+workload::Workload assignValues(const workload::Workload& workload,
+                                const ValueSpec& spec, std::uint64_t seed);
+
+}  // namespace hcs::ext

@@ -1,0 +1,112 @@
+#pragma once
+// Batch-mode mapping heuristics for heterogeneous systems (§III-C):
+// MM (MinCompletion-MinCompletion), MSD (MinCompletion-SoonestDeadline),
+// MMU (MinCompletion-MaxUrgency).
+//
+// All three share the paper's two-phase virtual-queue process:
+//   Phase 1 — for every unmapped task, find the machine offering the
+//             minimum expected completion time (among machines with free
+//             virtual queue slots).
+//   Phase 2 — for each machine with a free slot, choose among its phase-1
+//             candidates by a per-heuristic criterion, assign virtually,
+//             and repeat until the virtual queues are full or the unmapped
+//             queue is empty.
+
+#include <limits>
+
+#include "heuristics/heuristic.h"
+
+namespace hcs::heuristics {
+
+/// Shared two-phase engine; subclasses supply the phase-2 selection score
+/// (lower wins).
+class TwoPhaseBatchHeuristic : public BatchHeuristic {
+ public:
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
+
+ protected:
+  /// Lexicographic comparison: primary first, expected completion breaks
+  /// ties (as MSD specifies; harmless for the others).
+  struct Score {
+    double primary = 0.0;
+    double completion = 0.0;
+
+    bool operator<(const Score& other) const {
+      if (primary != other.primary) return primary < other.primary;
+      return completion < other.completion;
+    }
+  };
+
+  /// What phase 1 learned about a task this round.
+  struct Phase1Result {
+    sim::MachineId machine = sim::kInvalidMachine;  ///< min-ECT machine
+    double ect = 0.0;                               ///< its completion time
+    /// Completion time on the runner-up machine (= ect when only one
+    /// machine has slots); secondEct - ect is the classic sufferage value.
+    double secondEct = 0.0;
+  };
+
+  /// Phase-2 score of mapping `task` on its phase-1 machine.
+  virtual Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                            const Phase1Result& phase1) const = 0;
+};
+
+/// MM: phase 2 also minimizes expected completion time (classic MinMin).
+class MinCompletionMinCompletion final : public TwoPhaseBatchHeuristic {
+ public:
+  std::string_view name() const override { return "MM"; }
+
+ protected:
+  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                    const Phase1Result& phase1) const override;
+};
+
+/// MSD: phase 2 picks the soonest deadline, ties broken by completion time.
+class MinCompletionSoonestDeadline final : public TwoPhaseBatchHeuristic {
+ public:
+  std::string_view name() const override { return "MSD"; }
+
+ protected:
+  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                    const Phase1Result& phase1) const override;
+};
+
+/// MMU: phase 2 maximizes urgency U = 1 / (deadline - E[C]) (Eq. 3).
+/// A non-positive slack means the task is about to miss its deadline; it is
+/// treated as maximally urgent — precisely the behaviour that makes MMU
+/// benefit most from pruning (§V-E).
+class MinCompletionMaxUrgency final : public TwoPhaseBatchHeuristic {
+ public:
+  std::string_view name() const override { return "MMU"; }
+
+ protected:
+  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                    const Phase1Result& phase1) const override;
+};
+
+/// MaxMin (extension; Braun et al.'s classic counterpart to MinMin): phase 2
+/// picks the *largest* minimum completion time, so long tasks claim their
+/// machines before short ones fill the slots.
+class MaxMin final : public TwoPhaseBatchHeuristic {
+ public:
+  std::string_view name() const override { return "MaxMin"; }
+
+ protected:
+  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                    const Phase1Result& phase1) const override;
+};
+
+/// Sufferage (extension; Maheswaran et al. 1999): phase 2 prioritizes the
+/// task that would suffer most from losing its best machine — the gap
+/// between its second-best and best completion times.
+class SufferageHeuristic final : public TwoPhaseBatchHeuristic {
+ public:
+  std::string_view name() const override { return "Sufferage"; }
+
+ protected:
+  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
+                    const Phase1Result& phase1) const override;
+};
+
+}  // namespace hcs::heuristics

@@ -1,0 +1,63 @@
+#include "heuristics/context.h"
+
+#include <stdexcept>
+
+#include "prob/pmf.h"
+
+namespace hcs::heuristics {
+
+MappingContext::MappingContext(sim::Time now, const sim::TaskPool& pool,
+                               const std::vector<sim::Machine>& machines,
+                               const sim::ExecutionModel& model,
+                               std::size_t queueCapacity)
+    : now_(now),
+      pool_(&pool),
+      machines_(&machines),
+      model_(&model),
+      capacity_(queueCapacity),
+      readyCache_(machines.size(), 0.0),
+      readyCached_(machines.size(), false) {
+  if (machines.empty()) {
+    throw std::invalid_argument("MappingContext: no machines");
+  }
+  if (queueCapacity == 0) {
+    throw std::invalid_argument("MappingContext: zero queue capacity");
+  }
+}
+
+sim::Time MappingContext::expectedReady(sim::MachineId id) const {
+  const auto idx = static_cast<std::size_t>(id);
+  if (!readyCached_[idx]) {
+    readyCache_[idx] = (*machines_)[idx].expectedReady(now_, *pool_, *model_);
+    readyCached_[idx] = true;
+  }
+  return readyCache_[idx];
+}
+
+sim::Time MappingContext::expectedCompletion(sim::TaskId task,
+                                             sim::MachineId id) const {
+  return expectedCompletionForType((*pool_)[task].type, id);
+}
+
+sim::Time MappingContext::expectedCompletionForType(sim::TaskType type,
+                                                    sim::MachineId id) const {
+  return expectedReady(id) + model_->expectedExec(type, id);
+}
+
+std::size_t MappingContext::freeSlots(sim::MachineId id) const {
+  if (capacity_ == kUnbounded) return kUnbounded;
+  const sim::Machine& m = (*machines_)[static_cast<std::size_t>(id)];
+  const std::size_t inSystem = m.queueLength() + (m.busy() ? 1 : 0);
+  return inSystem >= capacity_ ? 0 : capacity_ - inSystem;
+}
+
+double MappingContext::successChance(sim::TaskId task,
+                                     sim::MachineId id) const {
+  const sim::Task& t = (*pool_)[task];
+  const sim::Machine& m = (*machines_)[static_cast<std::size_t>(id)];
+  const prob::DiscretePmf pct =
+      m.tailPct(now_, *pool_, *model_).convolve(model_->pet(t.type, id));
+  return pct.successProbability(t.deadline);
+}
+
+}  // namespace hcs::heuristics

@@ -1,0 +1,67 @@
+#pragma once
+// The read-only view of the system a mapping heuristic (and the pruner)
+// works against at one mapping event.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace hcs::heuristics {
+
+/// Snapshot facade over the scheduler's state at a mapping event.
+///
+/// Caches per-machine expected-ready times (the scalar part of completion
+/// estimates) because every batch heuristic queries them O(batch x machines)
+/// times per event.
+class MappingContext {
+ public:
+  /// `queueCapacity` caps tasks in a machine's system (running + waiting);
+  /// use kUnbounded for immediate-mode resource allocation.
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  MappingContext(sim::Time now, const sim::TaskPool& pool,
+                 const std::vector<sim::Machine>& machines,
+                 const sim::ExecutionModel& model, std::size_t queueCapacity);
+
+  sim::Time now() const { return now_; }
+  const sim::TaskPool& pool() const { return *pool_; }
+  const sim::ExecutionModel& model() const { return *model_; }
+  int numMachines() const { return static_cast<int>(machines_->size()); }
+  const sim::Machine& machine(sim::MachineId id) const {
+    return (*machines_)[static_cast<std::size_t>(id)];
+  }
+
+  /// Expected time machine `id` drains its current work (cached).
+  sim::Time expectedReady(sim::MachineId id) const;
+
+  /// Expected completion time of `task` if appended to machine `id` now:
+  /// expectedReady + E[PET] (the scalar estimate MCT/MM/MSD/MMU use).
+  sim::Time expectedCompletion(sim::TaskId task, sim::MachineId id) const;
+  sim::Time expectedCompletionForType(sim::TaskType type,
+                                      sim::MachineId id) const;
+
+  /// Free machine-queue slots (running task counts against capacity).
+  std::size_t freeSlots(sim::MachineId id) const;
+  std::size_t queueCapacity() const { return capacity_; }
+
+  /// Chance of success (Eq. 2) of `task` if appended to machine `id` now:
+  /// P[tail PCT * PET <= deadline].  The probabilistic estimate the pruner
+  /// uses; heavier than expectedCompletion (one convolution).
+  double successChance(sim::TaskId task, sim::MachineId id) const;
+
+ private:
+  sim::Time now_;
+  const sim::TaskPool* pool_;
+  const std::vector<sim::Machine>* machines_;
+  const sim::ExecutionModel* model_;
+  std::size_t capacity_;
+  mutable std::vector<sim::Time> readyCache_;
+  mutable std::vector<bool> readyCached_;
+};
+
+}  // namespace hcs::heuristics

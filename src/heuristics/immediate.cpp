@@ -1,0 +1,78 @@
+#include "heuristics/immediate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hcs::heuristics {
+
+sim::MachineId RoundRobin::selectMachine(const MappingContext& ctx,
+                                         sim::TaskId /*task*/) {
+  const sim::MachineId pick = next_;
+  next_ = (next_ + 1) % ctx.numMachines();
+  return pick;
+}
+
+sim::MachineId MinimumExpectedExecutionTime::selectMachine(
+    const MappingContext& ctx, sim::TaskId task) {
+  const sim::TaskType type = ctx.pool()[task].type;
+  sim::MachineId best = 0;
+  double bestExec = ctx.model().expectedExec(type, 0);
+  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+    const double exec = ctx.model().expectedExec(type, j);
+    if (exec < bestExec) {
+      bestExec = exec;
+      best = j;
+    }
+  }
+  return best;
+}
+
+sim::MachineId MinimumExpectedCompletionTime::selectMachine(
+    const MappingContext& ctx, sim::TaskId task) {
+  sim::MachineId best = 0;
+  double bestCompletion = ctx.expectedCompletion(task, 0);
+  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+    const double completion = ctx.expectedCompletion(task, j);
+    if (completion < bestCompletion) {
+      bestCompletion = completion;
+      best = j;
+    }
+  }
+  return best;
+}
+
+KPercentBest::KPercentBest(double kPercent) : kPercent_(kPercent) {
+  if (kPercent <= 0.0 || kPercent > 1.0) {
+    throw std::invalid_argument("KPercentBest: kPercent outside (0, 1]");
+  }
+}
+
+sim::MachineId KPercentBest::selectMachine(const MappingContext& ctx,
+                                           sim::TaskId task) {
+  const sim::TaskType type = ctx.pool()[task].type;
+  const int m = ctx.numMachines();
+  const int k = std::clamp(
+      static_cast<int>(std::lround(kPercent_ * static_cast<double>(m))), 1, m);
+  std::vector<sim::MachineId> order(static_cast<std::size_t>(m));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](sim::MachineId a, sim::MachineId b) {
+                      return ctx.model().expectedExec(type, a) <
+                             ctx.model().expectedExec(type, b);
+                    });
+  sim::MachineId best = order[0];
+  double bestCompletion = ctx.expectedCompletion(task, best);
+  for (int i = 1; i < k; ++i) {
+    const double completion = ctx.expectedCompletion(task, order[static_cast<std::size_t>(i)]);
+    if (completion < bestCompletion) {
+      bestCompletion = completion;
+      best = order[static_cast<std::size_t>(i)];
+    }
+  }
+  return best;
+}
+
+}  // namespace hcs::heuristics

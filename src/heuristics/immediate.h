@@ -1,0 +1,56 @@
+#pragma once
+// Immediate-mode mapping heuristics for heterogeneous systems (§III-B):
+// RR, MET, MCT, KPB.
+
+#include <memory>
+
+#include "heuristics/heuristic.h"
+
+namespace hcs::heuristics {
+
+/// Round Robin: machines in cyclic order, ignoring load and affinity.
+class RoundRobin final : public ImmediateHeuristic {
+ public:
+  std::string_view name() const override { return "RR"; }
+  sim::MachineId selectMachine(const MappingContext& ctx,
+                               sim::TaskId task) override;
+
+ private:
+  int next_ = 0;
+};
+
+/// Minimum Expected Execution Time: best task-machine affinity, ignoring
+/// queue lengths (prone to piling onto fast machines).
+class MinimumExpectedExecutionTime final : public ImmediateHeuristic {
+ public:
+  std::string_view name() const override { return "MET"; }
+  sim::MachineId selectMachine(const MappingContext& ctx,
+                               sim::TaskId task) override;
+};
+
+/// Minimum Expected Completion Time: accounts for queued work.
+class MinimumExpectedCompletionTime final : public ImmediateHeuristic {
+ public:
+  std::string_view name() const override { return "MCT"; }
+  sim::MachineId selectMachine(const MappingContext& ctx,
+                               sim::TaskId task) override;
+};
+
+/// K-Percent Best: MCT restricted to the K% of machines with the lowest
+/// expected execution time for the task's type (a blend of MET and MCT).
+class KPercentBest final : public ImmediateHeuristic {
+ public:
+  /// `kPercent` in (0, 1]; the candidate set size is
+  /// max(1, round(kPercent * numMachines)).
+  explicit KPercentBest(double kPercent = 0.375);
+
+  std::string_view name() const override { return "KPB"; }
+  sim::MachineId selectMachine(const MappingContext& ctx,
+                               sim::TaskId task) override;
+  double kPercent() const { return kPercent_; }
+
+ private:
+  double kPercent_;
+};
+
+}  // namespace hcs::heuristics

@@ -1,0 +1,63 @@
+#include "heuristics/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcs::heuristics {
+
+namespace {
+const std::vector<std::string> kImmediate = {"RR", "MET", "MCT", "KPB"};
+const std::vector<std::string> kBatchHetero = {"MM", "MSD", "MMU", "MaxMin",
+                                               "Sufferage"};
+const std::vector<std::string> kHomogeneous = {"FCFS-RR", "EDF", "SJF"};
+
+bool contains(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+}  // namespace
+
+std::unique_ptr<ImmediateHeuristic> makeImmediate(
+    const std::string& name, const HeuristicOptions& options) {
+  if (name == "RR") return std::make_unique<RoundRobin>();
+  if (name == "MET") return std::make_unique<MinimumExpectedExecutionTime>();
+  if (name == "MCT") return std::make_unique<MinimumExpectedCompletionTime>();
+  if (name == "KPB") {
+    return std::make_unique<KPercentBest>(options.kpbPercent);
+  }
+  throw std::invalid_argument("makeImmediate: unknown heuristic " + name);
+}
+
+std::unique_ptr<BatchHeuristic> makeBatch(const std::string& name,
+                                          const HeuristicOptions& /*options*/) {
+  if (name == "MM") return std::make_unique<MinCompletionMinCompletion>();
+  if (name == "MSD") return std::make_unique<MinCompletionSoonestDeadline>();
+  if (name == "MMU") return std::make_unique<MinCompletionMaxUrgency>();
+  if (name == "MaxMin") return std::make_unique<MaxMin>();
+  if (name == "Sufferage") return std::make_unique<SufferageHeuristic>();
+  if (name == "FCFS-RR") return std::make_unique<FcfsRoundRobin>();
+  if (name == "EDF") return std::make_unique<EarliestDeadlineFirst>();
+  if (name == "SJF") return std::make_unique<ShortestJobFirst>();
+  throw std::invalid_argument("makeBatch: unknown heuristic " + name);
+}
+
+bool isImmediateHeuristic(const std::string& name) {
+  return contains(kImmediate, name);
+}
+
+bool isBatchHeuristic(const std::string& name) {
+  return contains(kBatchHetero, name) || contains(kHomogeneous, name);
+}
+
+const std::vector<std::string>& immediateHeuristicNames() {
+  return kImmediate;
+}
+
+const std::vector<std::string>& batchHeteroHeuristicNames() {
+  return kBatchHetero;
+}
+
+const std::vector<std::string>& homogeneousHeuristicNames() {
+  return kHomogeneous;
+}
+
+}  // namespace hcs::heuristics

@@ -1,0 +1,36 @@
+#pragma once
+// Name-based construction of mapping heuristics (Fig. 3's taxonomy).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "heuristics/batch.h"
+#include "heuristics/heuristic.h"
+#include "heuristics/homogeneous.h"
+#include "heuristics/immediate.h"
+
+namespace hcs::heuristics {
+
+struct HeuristicOptions {
+  double kpbPercent = 0.375;  ///< KPB's K (fraction of machines considered)
+};
+
+/// Names: "RR", "MET", "MCT", "KPB".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<ImmediateHeuristic> makeImmediate(
+    const std::string& name, const HeuristicOptions& options = {});
+
+/// Names: "MM", "MSD", "MMU" (heterogeneous); "FCFS-RR", "EDF", "SJF"
+/// (homogeneous).  Throws std::invalid_argument for unknown names.
+std::unique_ptr<BatchHeuristic> makeBatch(const std::string& name,
+                                          const HeuristicOptions& options = {});
+
+bool isImmediateHeuristic(const std::string& name);
+bool isBatchHeuristic(const std::string& name);
+
+const std::vector<std::string>& immediateHeuristicNames();
+const std::vector<std::string>& batchHeteroHeuristicNames();
+const std::vector<std::string>& homogeneousHeuristicNames();
+
+}  // namespace hcs::heuristics

@@ -1,0 +1,28 @@
+#include "prob/histogram.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hcs::prob {
+
+DiscretePmf gammaHistogramPmf(Rng& rng, double mean, double shape,
+                              std::size_t samples, double binWidth) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("gammaHistogramPmf: mean must be positive");
+  }
+  if (shape <= 0.0) {
+    throw std::invalid_argument("gammaHistogramPmf: shape must be positive");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("gammaHistogramPmf: need at least one sample");
+  }
+  std::vector<double> draws;
+  draws.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    draws.push_back(std::max(rng.gammaByMeanShape(mean, shape), binWidth));
+  }
+  return DiscretePmf::fromSamples(draws, binWidth);
+}
+
+}  // namespace hcs::prob

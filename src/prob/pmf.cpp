@@ -1,0 +1,181 @@
+#include "prob/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "prob/rng.h"
+
+namespace hcs::prob {
+
+DiscretePmf::DiscretePmf(std::int64_t firstBin, std::vector<double> probs,
+                         double binWidth)
+    : first_(firstBin), probs_(std::move(probs)), width_(binWidth) {
+  if (probs_.empty()) {
+    throw std::invalid_argument("DiscretePmf: empty probability vector");
+  }
+  if (width_ <= 0.0) {
+    throw std::invalid_argument("DiscretePmf: bin width must be positive");
+  }
+  for (double p : probs_) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      throw std::invalid_argument("DiscretePmf: negative or non-finite mass");
+    }
+  }
+  trimAndNormalize();
+}
+
+void DiscretePmf::trimAndNormalize() {
+  auto isPositive = [](double p) { return p > 0.0; };
+  auto head = std::find_if(probs_.begin(), probs_.end(), isPositive);
+  if (head == probs_.end()) {
+    throw std::invalid_argument("DiscretePmf: total mass is zero");
+  }
+  auto tail = std::find_if(probs_.rbegin(), probs_.rend(), isPositive).base();
+  first_ += std::distance(probs_.begin(), head);
+  probs_.erase(tail, probs_.end());
+  probs_.erase(probs_.begin(), head);
+
+  const double total = std::accumulate(probs_.begin(), probs_.end(), 0.0);
+  for (double& p : probs_) p /= total;
+}
+
+DiscretePmf DiscretePmf::pointMass(double time, double binWidth) {
+  if (binWidth <= 0.0) {
+    throw std::invalid_argument("pointMass: bin width must be positive");
+  }
+  const auto bin = static_cast<std::int64_t>(std::llround(time / binWidth));
+  return DiscretePmf(bin, {1.0}, binWidth);
+}
+
+DiscretePmf DiscretePmf::fromSamples(std::span<const double> samples,
+                                     double binWidth) {
+  if (samples.empty()) {
+    throw std::invalid_argument("fromSamples: no samples");
+  }
+  if (binWidth <= 0.0) {
+    throw std::invalid_argument("fromSamples: bin width must be positive");
+  }
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> bins;
+  bins.reserve(samples.size());
+  for (double s : samples) {
+    if (s < 0.0 || !std::isfinite(s)) {
+      throw std::invalid_argument("fromSamples: negative or non-finite sample");
+    }
+    const auto b = static_cast<std::int64_t>(std::llround(s / binWidth));
+    bins.push_back(b);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  std::vector<double> probs(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  const double w = 1.0 / static_cast<double>(samples.size());
+  for (std::int64_t b : bins) probs[static_cast<std::size_t>(b - lo)] += w;
+  return DiscretePmf(lo, std::move(probs), binWidth);
+}
+
+double DiscretePmf::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) m += probs_[i] * timeAt(i);
+  return m;
+}
+
+double DiscretePmf::variance() const {
+  const double m = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    const double d = timeAt(i) - m;
+    v += probs_[i] * d * d;
+  }
+  return v;
+}
+
+double DiscretePmf::stddev() const { return std::sqrt(variance()); }
+
+double DiscretePmf::cdf(double t) const {
+  // Tiny tolerance so a deadline exactly on a grid point includes that bin
+  // despite floating-point drift.
+  const double cutoff = t + width_ * 1e-6;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (timeAt(i) >= cutoff) break;
+    acc += probs_[i];
+  }
+  return std::min(acc, 1.0);
+}
+
+double DiscretePmf::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("quantile: p outside [0,1]");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
+    if (acc + kMassTolerance >= p) return timeAt(i);
+  }
+  return maxTime();
+}
+
+DiscretePmf DiscretePmf::convolve(const DiscretePmf& other,
+                                  std::size_t maxBins) const {
+  if (std::abs(width_ - other.width_) > 1e-12) {
+    throw std::invalid_argument("convolve: mismatched bin widths");
+  }
+  const std::size_t fullSize = probs_.size() + other.probs_.size() - 1;
+  const std::size_t outSize = std::min(fullSize, std::max<std::size_t>(maxBins, 1));
+  std::vector<double> out(outSize, 0.0);
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (probs_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.probs_.size(); ++j) {
+      const std::size_t k = std::min(i + j, outSize - 1);
+      out[k] += probs_[i] * other.probs_[j];
+    }
+  }
+  return DiscretePmf(first_ + other.first_, std::move(out), width_);
+}
+
+DiscretePmf DiscretePmf::shifted(std::int64_t bins) const {
+  DiscretePmf out = *this;
+  out.first_ += bins;
+  return out;
+}
+
+DiscretePmf DiscretePmf::conditionalRemaining(double elapsed) const {
+  const auto elapsedBins =
+      static_cast<std::int64_t>(std::floor(elapsed / width_ + 1e-9));
+  // Keep bins strictly beyond the elapsed time: X > e.
+  const std::int64_t keepFrom = elapsedBins + 1;
+  if (keepFrom > lastBin()) {
+    // Task has outlived its whole support; model "finishes within one bin".
+    return DiscretePmf(1, {1.0}, width_);
+  }
+  const std::int64_t skip = std::max<std::int64_t>(keepFrom - first_, 0);
+  std::vector<double> kept(probs_.begin() + skip, probs_.end());
+  return DiscretePmf(first_ + skip - elapsedBins, std::move(kept), width_);
+}
+
+DiscretePmf DiscretePmf::capped(std::size_t maxBins) const {
+  if (maxBins == 0) {
+    throw std::invalid_argument("capped: maxBins must be positive");
+  }
+  if (probs_.size() <= maxBins) return *this;
+  std::vector<double> out(probs_.begin(),
+                          probs_.begin() + static_cast<std::ptrdiff_t>(maxBins));
+  out.back() += std::accumulate(
+      probs_.begin() + static_cast<std::ptrdiff_t>(maxBins), probs_.end(), 0.0);
+  return DiscretePmf(first_, std::move(out), width_);
+}
+
+double DiscretePmf::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
+    if (u <= acc) return timeAt(i);
+  }
+  return maxTime();
+}
+
+}  // namespace hcs::prob

@@ -1,0 +1,133 @@
+#pragma once
+// Discrete probability mass functions over a uniform time grid.
+//
+// The paper models every task's execution time on every machine type as a
+// Probability Mass Function (PMF) obtained by histogramming samples of a
+// Gamma distribution (Section V-B).  Completion-time distributions (PCT,
+// Eq. 1) are formed by convolving PMFs along a machine queue, and the
+// "chance of success" (Eq. 2) is the CDF of a PCT evaluated at the task's
+// deadline.  This header provides that machinery.
+//
+// Representation: point masses on a uniform grid.  Bin `i` of a PMF with
+// offset `first()` and width `w` carries probability `prob(i)` at time
+// `(first() + i) * w`.  Point-mass semantics make convolution exact:
+// mass at time a convolved with mass at time b lands at time a + b.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hcs::prob {
+
+class Rng;
+
+/// A probability mass function over a uniform time grid.
+///
+/// Invariants: `probs()` is non-empty, every entry is >= 0, first and last
+/// entries are > 0 (no dangling zero bins at either end), and the total mass
+/// is 1 within `kMassTolerance` (enforced by normalize(); constructors
+/// normalize by default).
+class DiscretePmf {
+ public:
+  /// Total-mass tolerance accepted by validity checks.
+  static constexpr double kMassTolerance = 1e-9;
+
+  /// Default cap on support size; convolution results larger than the cap
+  /// get their tail mass folded into the final retained bin.  Folded mass
+  /// moves *earlier* in time, so a capped PCT is optimistic about extreme
+  /// tails — the cap is set high enough that realistic machine queues never
+  /// reach it (a queue must accumulate ~4096 bins of support first).
+  static constexpr std::size_t kDefaultMaxBins = 4096;
+
+  /// Constructs a PMF from bin probabilities starting at bin index
+  /// `firstBin` on a grid of width `binWidth`.  The mass is normalized to 1.
+  /// Throws std::invalid_argument if `probs` is empty, contains a negative
+  /// entry, sums to ~0, or if `binWidth <= 0`.
+  DiscretePmf(std::int64_t firstBin, std::vector<double> probs,
+              double binWidth = 1.0);
+
+  /// A degenerate PMF: all mass at `time` (rounded to the nearest bin).
+  static DiscretePmf pointMass(double time, double binWidth = 1.0);
+
+  /// Builds a histogram PMF from raw samples (all must be >= 0).
+  /// Equivalent to the paper's 500-sample Gamma histograms.
+  static DiscretePmf fromSamples(std::span<const double> samples,
+                                 double binWidth = 1.0);
+
+  // --- Accessors -----------------------------------------------------------
+
+  std::int64_t firstBin() const { return first_; }
+  std::int64_t lastBin() const {
+    return first_ + static_cast<std::int64_t>(probs_.size()) - 1;
+  }
+  double binWidth() const { return width_; }
+  std::size_t size() const { return probs_.size(); }
+  std::span<const double> probs() const { return probs_; }
+
+  /// Time value of the i-th bin (0-based within the support).
+  double timeAt(std::size_t i) const {
+    return static_cast<double>(first_ + static_cast<std::int64_t>(i)) * width_;
+  }
+  double minTime() const { return timeAt(0); }
+  double maxTime() const { return timeAt(probs_.size() - 1); }
+
+  // --- Moments -------------------------------------------------------------
+
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+
+  // --- Probabilities -------------------------------------------------------
+
+  /// P[X <= t]  (with a half-bin-width tolerance so that grid-aligned
+  /// deadlines include their own bin).
+  double cdf(double t) const;
+
+  /// Chance of success per Eq. 2: P[completion <= deadline].
+  double successProbability(double deadline) const { return cdf(deadline); }
+
+  /// Smallest grid time t with P[X <= t] >= p.
+  double quantile(double p) const;
+
+  // --- Transformations (all return new PMFs) --------------------------------
+
+  /// Convolution (Eq. 1): distribution of the sum of two independent
+  /// variables.  Both operands must share the same bin width.
+  /// Support is capped at `maxBins`; excess tail mass folds into the last
+  /// retained bin.
+  DiscretePmf convolve(const DiscretePmf& other,
+                       std::size_t maxBins = kDefaultMaxBins) const;
+
+  /// Shift in time by a whole number of bins (may be negative; the
+  /// support may move below zero — completion *times* in the simulator are
+  /// absolute, so negative supports are legal for intermediate math).
+  DiscretePmf shifted(std::int64_t bins) const;
+
+  /// Remaining-time distribution after `elapsed` time units of execution:
+  /// P[X - e | X > e] with e rounded down to the grid.  Used to rebuild a
+  /// machine queue's PCT when its head task has been running for a while
+  /// (Section II: dropping shortens queues and reduces compound
+  /// uncertainty).  If the condition removes all mass (task overdue), the
+  /// result is a point mass one bin wide — "should finish any moment now".
+  DiscretePmf conditionalRemaining(double elapsed) const;
+
+  /// Folds all mass beyond `maxBins` bins into the final retained bin.
+  DiscretePmf capped(std::size_t maxBins) const;
+
+  // --- Sampling ------------------------------------------------------------
+
+  /// Draws a concrete time from this PMF (inverse-CDF on the grid).
+  double sample(Rng& rng) const;
+
+  bool operator==(const DiscretePmf& other) const = default;
+
+ private:
+  void trimAndNormalize();
+
+  std::int64_t first_ = 0;
+  std::vector<double> probs_;
+  double width_ = 1.0;
+};
+
+}  // namespace hcs::prob

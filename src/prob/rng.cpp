@@ -1,0 +1,38 @@
+#include "prob/rng.h"
+
+#include <stdexcept>
+
+namespace hcs::prob {
+
+double Rng::uniform(double lo, double hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::uniform: hi < lo");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::uniformInt: hi < lo");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("Rng::gamma: shape and scale must be positive");
+  }
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("Rng::exponential: mean must be positive");
+  }
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+Rng Rng::fork() {
+  // Two draws give a full 64-bit child seed with negligible correlation.
+  const std::uint64_t hi = engine_();
+  const std::uint64_t lo = engine_();
+  return Rng((hi << 32) ^ lo ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace hcs::prob

@@ -1,0 +1,36 @@
+#include "pruning/accounting.h"
+
+#include <stdexcept>
+
+namespace hcs::pruning {
+
+Accounting::Accounting(int numTaskTypes)
+    : totalOnTime_(static_cast<std::size_t>(numTaskTypes), 0),
+      totalMisses_(static_cast<std::size_t>(numTaskTypes), 0),
+      totalProactiveDrops_(static_cast<std::size_t>(numTaskTypes), 0) {
+  if (numTaskTypes <= 0) {
+    throw std::invalid_argument("Accounting: need at least one task type");
+  }
+}
+
+void Accounting::recordOnTimeCompletion(sim::TaskType type) {
+  interval_.onTimeTypes.push_back(type);
+  ++totalOnTime_[static_cast<std::size_t>(type)];
+}
+
+void Accounting::recordDeadlineMiss(sim::TaskType type) {
+  ++interval_.deadlineMisses;
+  ++totalMisses_[static_cast<std::size_t>(type)];
+}
+
+void Accounting::recordProactiveDrop(sim::TaskType type) {
+  ++totalProactiveDrops_[static_cast<std::size_t>(type)];
+}
+
+Accounting::Snapshot Accounting::harvest() {
+  Snapshot out = std::move(interval_);
+  interval_ = Snapshot{};
+  return out;
+}
+
+}  // namespace hcs::pruning

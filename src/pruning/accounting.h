@@ -1,0 +1,55 @@
+#pragma once
+// The Accounting module (Fig. 4): gathers task outcomes between mapping
+// events for the Toggle and Fairness modules.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hcs::pruning {
+
+/// Collects per-interval and lifetime outcome counts.  The scheduler feeds
+/// it every terminal transition; the Pruner harvests it once per mapping
+/// event.
+class Accounting {
+ public:
+  explicit Accounting(int numTaskTypes);
+
+  /// A task of `type` finished at or before its deadline.
+  void recordOnTimeCompletion(sim::TaskType type);
+
+  /// A task of `type` missed its deadline (late completion or reactive
+  /// drop) — the signal the Toggle watches.
+  void recordDeadlineMiss(sim::TaskType type);
+
+  /// The pruner proactively dropped a task of `type`.
+  void recordProactiveDrop(sim::TaskType type);
+
+  /// What happened since the previous harvest.
+  struct Snapshot {
+    std::vector<sim::TaskType> onTimeTypes;  ///< one entry per completion
+    std::size_t deadlineMisses = 0;
+  };
+
+  /// Returns the interval snapshot and resets the interval state
+  /// (lifetime totals are preserved).
+  Snapshot harvest();
+
+  int numTaskTypes() const {
+    return static_cast<int>(totalOnTime_.size());
+  }
+  const std::vector<std::size_t>& totalOnTime() const { return totalOnTime_; }
+  const std::vector<std::size_t>& totalMisses() const { return totalMisses_; }
+  const std::vector<std::size_t>& totalProactiveDrops() const {
+    return totalProactiveDrops_;
+  }
+
+ private:
+  Snapshot interval_;
+  std::vector<std::size_t> totalOnTime_;
+  std::vector<std::size_t> totalMisses_;
+  std::vector<std::size_t> totalProactiveDrops_;
+};
+
+}  // namespace hcs::pruning

@@ -1,0 +1,82 @@
+#pragma once
+// Pruning Configuration (Fig. 4): the service-provider-tunable knobs.
+
+#include <cstddef>
+
+namespace hcs::pruning {
+
+/// How the Toggle module engages proactive task dropping (§V-C's three
+/// scenarios).
+enum class ToggleMode {
+  NoDropping,      ///< "no Toggle, no dropping"
+  AlwaysDropping,  ///< "no Toggle, always dropping"
+  Reactive,        ///< "reactive Toggle": drop when misses since the last
+                   ///< mapping event reach the Dropping Toggle (alpha)
+};
+
+struct PruningConfig {
+  /// Master switch; false reproduces the paper's no-pruning baselines.
+  bool enabled = true;
+
+  /// Reactive dropping (Fig. 5 step 1): evict pending tasks whose deadline
+  /// has already passed at every mapping event.  This is part of the
+  /// pruning mechanism, not the substrate — the paper's no-pruning
+  /// baselines execute every mapped task, including ones that expire while
+  /// queued, which is what makes them collapse under oversubscription
+  /// (Fig. 8's 0% point sits at 5-23%).
+  bool reactiveDropEnabled = true;
+
+  /// Pruning Threshold (beta): minimum chance of success a task needs to be
+  /// mapped (deferring) or to stay in a machine queue (dropping).
+  /// Paper default: 50% (§V-A).
+  double threshold = 0.5;
+
+  ToggleMode toggle = ToggleMode::Reactive;
+
+  /// Dropping Toggle (alpha): deadline misses since the previous mapping
+  /// event needed to flag the system oversubscribed.  Paper's reactive
+  /// setting engages dropping "in observation of at least one task missing
+  /// its deadline" (§V-C).
+  std::size_t droppingToggle = 1;
+
+  /// Enables deferring of low-chance tasks back to the batch queue
+  /// (batch-mode only; immediate-mode has no arrival queue to defer into).
+  bool deferEnabled = true;
+
+  /// Fairness factor (c): sufferage-score step per completion/drop.
+  /// Paper default: 0.05 (§V-A).
+  double fairnessFactor = 0.05;
+
+  /// Clamp on |sufferage score| so the effective threshold beta - gamma_k
+  /// stays inside (0, 1).
+  double fairnessClamp = 0.45;
+
+  /// Priority/cost-aware pruning — the paper's §VII future work.  When
+  /// enabled, a task of value v faces the bar
+  ///   (beta - gamma_k) * (priorityReference / v)^w,  clamped to [0, 0.99]:
+  /// tasks worth more than the reference must look much more hopeless
+  /// before being pruned, tasks worth less are pruned eagerly (their bar
+  /// rises above beta), shifting capacity toward high-value work.
+  bool priorityAware = false;
+
+  /// Exponent w of the priority adjustment above.
+  double priorityWeight = 1.0;
+
+  /// The task value at which the bar equals the plain threshold.  Set it
+  /// near the workload's mean value so the adjustment is a reallocation,
+  /// not a global loosening/tightening.
+  double priorityReference = 1.0;
+
+  /// Returns a config with pruning disabled (baseline): no reactive drops,
+  /// no proactive drops, no deferring — every mapped task executes.
+  static PruningConfig disabled() {
+    PruningConfig c;
+    c.enabled = false;
+    c.reactiveDropEnabled = false;
+    c.deferEnabled = false;
+    c.toggle = ToggleMode::NoDropping;
+    return c;
+  }
+};
+
+}  // namespace hcs::pruning

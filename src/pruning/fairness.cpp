@@ -1,0 +1,32 @@
+#include "pruning/fairness.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcs::pruning {
+
+Fairness::Fairness(int numTaskTypes, double fairnessFactor, double clamp)
+    : scores_(static_cast<std::size_t>(numTaskTypes), 0.0),
+      c_(fairnessFactor),
+      clamp_(clamp) {
+  if (numTaskTypes <= 0) {
+    throw std::invalid_argument("Fairness: need at least one task type");
+  }
+  if (fairnessFactor < 0.0) {
+    throw std::invalid_argument("Fairness: negative fairness factor");
+  }
+  if (clamp < 0.0) {
+    throw std::invalid_argument("Fairness: negative clamp");
+  }
+}
+
+void Fairness::bump(sim::TaskType type, double delta) {
+  double& gamma = scores_[static_cast<std::size_t>(type)];
+  gamma = std::clamp(gamma + delta, 0.0, clamp_);
+}
+
+void Fairness::recordOnTimeCompletion(sim::TaskType type) { bump(type, -c_); }
+
+void Fairness::recordDrop(sim::TaskType type) { bump(type, c_); }
+
+}  // namespace hcs::pruning

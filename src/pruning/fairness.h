@@ -1,0 +1,50 @@
+#pragma once
+// The Fairness module (Fig. 4, §IV-D): per-task-type sufferage scores that
+// offset the Pruning Threshold so the pruner does not systematically starve
+// long-running task types.
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hcs::pruning {
+
+/// Sufferage scores gamma_k.  A drop of type k raises gamma_k by the
+/// fairness factor c; an on-time completion lowers it by c, but never below
+/// zero — sufferage measures accumulated harm, and a type that has not
+/// suffered any drops has nothing to recover from.  (Without the zero
+/// floor, types that complete steadily would accumulate an ever-stricter
+/// bar beta + |gamma| > 1 and starve outright.)  The effective pruning
+/// threshold of type k is beta - gamma_k: suffering types get a laxer bar.
+class Fairness {
+ public:
+  /// `clamp` bounds gamma_k from above so the effective threshold stays
+  /// meaningful.
+  Fairness(int numTaskTypes, double fairnessFactor, double clamp);
+
+  void recordOnTimeCompletion(sim::TaskType type);
+  void recordDrop(sim::TaskType type);
+
+  /// gamma_k.
+  double score(sim::TaskType type) const {
+    return scores_[static_cast<std::size_t>(type)];
+  }
+
+  /// beta - gamma_k, the per-type pruning bar (Fig. 5, steps 6 and 10).
+  double effectiveThreshold(sim::TaskType type, double beta) const {
+    return beta - score(type);
+  }
+
+  double fairnessFactor() const { return c_; }
+  int numTaskTypes() const { return static_cast<int>(scores_.size()); }
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  void bump(sim::TaskType type, double delta);
+
+  std::vector<double> scores_;
+  double c_;
+  double clamp_;
+};
+
+}  // namespace hcs::pruning

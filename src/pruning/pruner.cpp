@@ -1,0 +1,60 @@
+#include "pruning/pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcs::pruning {
+
+Pruner::Pruner(const PruningConfig& config, int numTaskTypes)
+    : config_(config),
+      toggle_(config.toggle, config.droppingToggle),
+      fairness_(numTaskTypes, config.fairnessFactor, config.fairnessClamp) {
+  if (config.threshold < 0.0 || config.threshold > 1.0) {
+    throw std::invalid_argument("Pruner: threshold outside [0, 1]");
+  }
+}
+
+void Pruner::beginMappingEvent(const Accounting::Snapshot& sinceLastEvent) {
+  if (!config_.enabled) {
+    droppingEngaged_ = false;
+    return;
+  }
+  for (sim::TaskType type : sinceLastEvent.onTimeTypes) {
+    fairness_.recordOnTimeCompletion(type);
+  }
+  droppingEngaged_ = toggle_.engageDropping(sinceLastEvent.deadlineMisses);
+}
+
+double Pruner::pruningBar(sim::TaskType type, double value) const {
+  double bar = fairness_.effectiveThreshold(type, config_.threshold);
+  if (config_.priorityAware && value > 0.0) {
+    // §VII: scale the bar by (reference / value)^w, keeping it a valid
+    // probability bound (0.99 cap so even worthless tasks with certain
+    // success stay).
+    bar = std::clamp(
+        bar * std::pow(config_.priorityReference / value,
+                       config_.priorityWeight),
+        0.0, 0.99);
+  }
+  return bar;
+}
+
+bool Pruner::belowBar(sim::TaskType type, double chance, double value) const {
+  return chance <= pruningBar(type, value);
+}
+
+bool Pruner::shouldDrop(sim::TaskType type, double chance,
+                        double value) const {
+  return config_.enabled && droppingEngaged_ && belowBar(type, chance, value);
+}
+
+bool Pruner::shouldDefer(sim::TaskType type, double chance,
+                         double value) const {
+  return config_.enabled && config_.deferEnabled &&
+         belowBar(type, chance, value);
+}
+
+void Pruner::recordDrop(sim::TaskType type) { fairness_.recordDrop(type); }
+
+}  // namespace hcs::pruning

@@ -1,0 +1,60 @@
+#pragma once
+// The Pruner module (Fig. 4/5): the policy core of the pruning mechanism.
+//
+// The Pruner owns the Toggle and Fairness sub-modules and exposes the three
+// decisions of the Fig. 5 procedure; the *mechanics* (walking machine
+// queues, computing chances, dispatching) stay in core/Scheduler so the
+// pruner remains a pure policy object that can be plugged into any resource
+// allocation system, exactly as the paper prescribes.
+
+#include "pruning/accounting.h"
+#include "pruning/config.h"
+#include "pruning/fairness.h"
+#include "pruning/toggle.h"
+#include "sim/types.h"
+
+namespace hcs::pruning {
+
+class Pruner {
+ public:
+  Pruner(const PruningConfig& config, int numTaskTypes);
+
+  /// Fig. 5 steps 2-3, at the start of a mapping event: fold the interval's
+  /// on-time completions into the fairness scores and evaluate the Toggle
+  /// against the interval's deadline misses.
+  void beginMappingEvent(const Accounting::Snapshot& sinceLastEvent);
+
+  /// Whether the proactive-dropping pass (steps 4-6) runs this event.
+  bool droppingEngaged() const { return droppingEngaged_; }
+
+  /// Step 6: should a task of `type` with this chance of success be
+  /// proactively dropped?  (Only meaningful when droppingEngaged().)
+  /// `value` participates only under priority-aware pruning (§VII).
+  bool shouldDrop(sim::TaskType type, double chance, double value = 1.0) const;
+
+  /// Step 10: should a freshly mapped task of `type` be deferred back to
+  /// the batch queue instead of dispatched?
+  bool shouldDefer(sim::TaskType type, double chance,
+                   double value = 1.0) const;
+
+  /// The pruning bar a task of `type` and `value` must clear.
+  double pruningBar(sim::TaskType type, double value) const;
+
+  /// Records a proactive drop so the Fairness module raises the type's
+  /// sufferage score (step 6's "gamma_k <- gamma_k + c").
+  void recordDrop(sim::TaskType type);
+
+  const PruningConfig& config() const { return config_; }
+  const Fairness& fairness() const { return fairness_; }
+  const Toggle& toggle() const { return toggle_; }
+
+ private:
+  bool belowBar(sim::TaskType type, double chance, double value) const;
+
+  PruningConfig config_;
+  Toggle toggle_;
+  Fairness fairness_;
+  bool droppingEngaged_ = false;
+};
+
+}  // namespace hcs::pruning

@@ -1,0 +1,27 @@
+#include "pruning/toggle.h"
+
+#include <stdexcept>
+
+namespace hcs::pruning {
+
+Toggle::Toggle(ToggleMode mode, std::size_t droppingToggle)
+    : mode_(mode), alpha_(droppingToggle) {
+  if (mode == ToggleMode::Reactive && droppingToggle == 0) {
+    throw std::invalid_argument(
+        "Toggle: reactive mode needs a positive dropping toggle");
+  }
+}
+
+bool Toggle::engageDropping(std::size_t missesSinceLastEvent) const {
+  switch (mode_) {
+    case ToggleMode::NoDropping:
+      return false;
+    case ToggleMode::AlwaysDropping:
+      return true;
+    case ToggleMode::Reactive:
+      return missesSinceLastEvent >= alpha_;
+  }
+  return false;
+}
+
+}  // namespace hcs::pruning

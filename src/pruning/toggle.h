@@ -1,0 +1,29 @@
+#pragma once
+// The Toggle module (Fig. 4, §IV-C): decides when the system is
+// oversubscribed enough to escalate from deferring to proactive dropping.
+
+#include <cstddef>
+
+#include "pruning/config.h"
+
+namespace hcs::pruning {
+
+/// Stateless policy over the miss count the Accounting module observed
+/// since the previous mapping event.
+class Toggle {
+ public:
+  Toggle(ToggleMode mode, std::size_t droppingToggle);
+
+  /// Should this mapping event run the proactive-dropping pass
+  /// (Fig. 5, step 3: "If oversubscription level is greater than alpha")?
+  bool engageDropping(std::size_t missesSinceLastEvent) const;
+
+  ToggleMode mode() const { return mode_; }
+  std::size_t droppingToggle() const { return alpha_; }
+
+ private:
+  ToggleMode mode_;
+  std::size_t alpha_;
+};
+
+}  // namespace hcs::pruning

@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcs::sim {
+
+void EventQueue::push(Time time, EventKind kind, TaskId task,
+                      MachineId machine) {
+  Event e;
+  e.time = time;
+  e.kind = kind;
+  e.task = task;
+  e.machine = machine;
+  e.seq = nextSeq_++;
+  heap_.push(e);
+}
+
+Event EventQueue::pop() {
+  auto e = tryPop();
+  if (!e.has_value()) {
+    throw std::logic_error("EventQueue::pop: queue is empty");
+  }
+  return *e;
+}
+
+std::optional<Event> EventQueue::tryPop() {
+  while (!heap_.empty()) {
+    Event e = heap_.top();
+    heap_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    return e;
+  }
+  return std::nullopt;
+}
+
+void EventQueue::cancel(std::uint64_t seq) { cancelled_.push_back(seq); }
+
+}  // namespace hcs::sim

@@ -1,0 +1,67 @@
+#pragma once
+// Discrete-event queue driving the simulation.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+/// Mapping events fire "when a task completes its execution or when a new
+/// task arrives into the system" (§II); these are the two event kinds.
+enum class EventKind {
+  TaskArrival,
+  TaskCompletion,
+};
+
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::TaskArrival;
+  TaskId task = kInvalidTask;
+  MachineId machine = kInvalidMachine;
+  /// Monotone sequence number breaking time ties deterministically
+  /// (completions scheduled earlier pop earlier).
+  std::uint64_t seq = 0;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  void push(Time time, EventKind kind, TaskId task,
+            MachineId machine = kInvalidMachine);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Event& top() const { return heap_.top(); }
+  Event pop();
+
+  /// Pops the next non-cancelled event, or returns nullopt if none remain.
+  std::optional<Event> tryPop();
+
+  /// Marks a previously scheduled completion as void (e.g. the running task
+  /// was aborted); voided events are skipped transparently by pop().
+  void cancel(std::uint64_t seq);
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<std::uint64_t> cancelled_;
+  std::uint64_t nextSeq_ = 0;
+
+ public:
+  /// Sequence number that the next push() will be assigned; lets callers
+  /// remember a completion event so they can cancel it.
+  std::uint64_t nextSeq() const { return nextSeq_; }
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,159 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcs::sim {
+
+Machine::Machine(MachineId id, double binWidth, bool trackTail)
+    : id_(id), binWidth_(binWidth), trackTail_(trackTail) {
+  if (binWidth <= 0.0) {
+    throw std::invalid_argument("Machine: bin width must be positive");
+  }
+}
+
+std::int64_t Machine::binAt(Time t) const {
+  return static_cast<std::int64_t>(std::llround(t / binWidth_));
+}
+
+prob::DiscretePmf Machine::availabilityPct(Time now, const TaskPool& pool,
+                                           const ExecutionModel& model) const {
+  if (!busy()) {
+    return prob::DiscretePmf(binAt(now), {1.0}, binWidth_);
+  }
+  // Remaining time of the running task, conditioned on the time it has
+  // already executed, re-anchored to absolute time.
+  const Task& task = pool[running_];
+  const prob::DiscretePmf remaining =
+      model.pet(task.type, id_).conditionalRemaining(now - runStart_);
+  return remaining.shifted(binAt(now));
+}
+
+prob::DiscretePmf Machine::tailPct(Time now, const TaskPool& pool,
+                                   const ExecutionModel& model) const {
+  if (tail_.has_value()) return *tail_;
+  if (empty()) return availabilityPct(now, pool, model);
+  // Tail tracking is off: derive the tail from the full chain on demand.
+  prob::DiscretePmf acc = availabilityPct(now, pool, model);
+  for (TaskId id : queue_) {
+    acc = acc.convolve(model.pet(pool[id].type, id_));
+  }
+  return acc;
+}
+
+std::vector<prob::DiscretePmf> Machine::chainPcts(
+    Time now, const TaskPool& pool, const ExecutionModel& model) const {
+  std::vector<prob::DiscretePmf> chain;
+  if (empty()) return chain;
+  prob::DiscretePmf acc = availabilityPct(now, pool, model);
+  if (busy()) chain.push_back(acc);
+  for (TaskId id : queue_) {
+    acc = acc.convolve(model.pet(pool[id].type, id_));
+    chain.push_back(acc);
+  }
+  return chain;
+}
+
+Time Machine::expectedReady(Time now, const TaskPool& pool,
+                            const ExecutionModel& model) const {
+  Time ready = now;
+  if (busy()) {
+    const Task& task = pool[running_];
+    ready += model.pet(task.type, id_)
+                 .conditionalRemaining(now - runStart_)
+                 .mean();
+  }
+  for (TaskId id : queue_) ready += model.expectedExec(pool[id].type, id_);
+  return ready;
+}
+
+void Machine::rebuildTail(Time now, const TaskPool& pool,
+                          const ExecutionModel& model) {
+  if (empty() || !trackTail_) {
+    tail_.reset();
+    return;
+  }
+  prob::DiscretePmf acc = availabilityPct(now, pool, model);
+  for (TaskId id : queue_) {
+    acc = acc.convolve(model.pet(pool[id].type, id_));
+  }
+  tail_ = std::move(acc);
+}
+
+void Machine::startTask(TaskId task, Time now, TaskPool& pool) {
+  running_ = task;
+  runStart_ = now;
+  Task& t = pool[task];
+  t.status = TaskStatus::Running;
+  t.startTime = now;
+}
+
+bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
+                       const ExecutionModel& model) {
+  Task& t = pool[task];
+  t.machine = id_;
+  t.queuedAt = now;
+  if (trackTail_) {
+    // Eq. 1: the new task's PCT extends the current tail by one convolution.
+    tail_ = tailPct(now, pool, model).convolve(model.pet(t.type, id_));
+  }
+  if (empty()) {
+    startTask(task, now, pool);
+    return true;
+  }
+  t.status = TaskStatus::Queued;
+  queue_.push_back(task);
+  return false;
+}
+
+void Machine::finishRunning(Time now, TaskPool& pool,
+                            const ExecutionModel& model) {
+  if (!busy()) {
+    throw std::logic_error("finishRunning: machine is idle");
+  }
+  busyTime_ += now - runStart_;
+  running_ = kInvalidTask;
+  // The finished task's actual completion time is now certain, so the whole
+  // chain of successors is re-derived from reality (§II: shortening the
+  // chain reduces compound uncertainty).
+  rebuildTail(now, pool, model);
+}
+
+TaskId Machine::startNextIfIdle(Time now, TaskPool& pool,
+                                const ExecutionModel& model) {
+  if (busy() || queue_.empty()) return kInvalidTask;
+  const TaskId next = queue_.front();
+  queue_.pop_front();
+  startTask(next, now, pool);
+  rebuildTail(now, pool, model);
+  return next;
+}
+
+TaskId Machine::completeRunning(Time now, TaskPool& pool,
+                                const ExecutionModel& model) {
+  finishRunning(now, pool, model);
+  return startNextIfIdle(now, pool, model);
+}
+
+void Machine::removeQueued(TaskId task, Time now, TaskPool& pool,
+                           const ExecutionModel& model) {
+  auto it = std::find(queue_.begin(), queue_.end(), task);
+  if (it == queue_.end()) {
+    throw std::logic_error("removeQueued: task not queued on this machine");
+  }
+  queue_.erase(it);
+  rebuildTail(now, pool, model);
+}
+
+void Machine::abortRunning(Time now, TaskPool& pool,
+                           const ExecutionModel& model) {
+  if (!busy()) {
+    throw std::logic_error("abortRunning: machine is idle");
+  }
+  busyTime_ += now - runStart_;
+  running_ = kInvalidTask;
+  rebuildTail(now, pool, model);
+}
+
+}  // namespace hcs::sim

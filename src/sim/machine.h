@@ -1,0 +1,120 @@
+#pragma once
+// A machine with a FIFO queue and incremental PCT tracking (Eq. 1).
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "prob/pmf.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+/// One machine of the cluster.
+///
+/// Tasks dispatched to a machine wait in its FIFO queue, then run to
+/// completion without preemption (§II).  The machine maintains the PCT of
+/// the most recently assigned task — the recursion state of Eq. 1 — so that
+/// the PCT of a *new* candidate task is one convolution away.  Completions
+/// and drops rebuild the chain from the running task's conditioned
+/// remaining-time distribution, which is how queue shortening reduces
+/// compound uncertainty (§II).
+class Machine {
+ public:
+  /// `trackTail` keeps the Eq. 1 recursion state updated on every dispatch
+  /// (one convolution) so tailPct() is O(1).  Immediate-mode resource
+  /// allocation — unbounded queues, no deferring — turns it off and pays
+  /// the full chain walk only if a PCT is actually requested.
+  Machine(MachineId id, double binWidth, bool trackTail = true);
+
+  MachineId id() const { return id_; }
+  double binWidth() const { return binWidth_; }
+
+  bool busy() const { return running_ != kInvalidTask; }
+  TaskId runningTask() const { return running_; }
+  Time runningSince() const { return runStart_; }
+
+  const std::deque<TaskId>& queue() const { return queue_; }
+  std::size_t queueLength() const { return queue_.size(); }
+  bool empty() const { return !busy() && queue_.empty(); }
+
+  /// Total time this machine has spent executing tasks (utilization metric).
+  Time busyTime() const { return busyTime_; }
+
+  // --- PCT (Eq. 1) ----------------------------------------------------------
+
+  /// Distribution of when the machine becomes free of its *running* task:
+  /// a point mass at `now` when idle, otherwise the running task's
+  /// remaining-time PET conditioned on its elapsed execution, re-anchored
+  /// to absolute time.  The base case of the Eq. 1 recursion.
+  prob::DiscretePmf availabilityPct(Time now, const TaskPool& pool,
+                                    const ExecutionModel& model) const;
+
+  /// PCT of the last task in the machine's system (running + queued), on the
+  /// absolute time grid.  For an empty machine this is a point mass at
+  /// `now` — the machine is free immediately.
+  prob::DiscretePmf tailPct(Time now, const TaskPool& pool,
+                            const ExecutionModel& model) const;
+
+  /// PCTs of every task currently on this machine, in order
+  /// [running, queued...]; used when the pruner evaluates the chance of
+  /// success of each queued task (Fig. 5, steps 4-5).
+  std::vector<prob::DiscretePmf> chainPcts(Time now, const TaskPool& pool,
+                                           const ExecutionModel& model) const;
+
+  /// Expected time at which the machine will have drained all current work;
+  /// the scalar completion estimate used by MCT-family heuristics.
+  Time expectedReady(Time now, const TaskPool& pool,
+                     const ExecutionModel& model) const;
+
+  // --- Mutations (called by the scheduler / engine) --------------------------
+
+  /// Dispatches a task to this machine: it starts running if the machine is
+  /// completely empty, otherwise joins the back of the queue (FIFO order is
+  /// preserved even while the machine is transiently idle between a
+  /// completion and the end of the mapping event).  Returns true if the
+  /// task started running immediately.
+  bool dispatch(TaskId task, Time now, TaskPool& pool,
+                const ExecutionModel& model);
+
+  /// Finishes the running task at `now` WITHOUT promoting a successor — the
+  /// scheduler runs the reactive/proactive pruning passes over the queue
+  /// first ("the system drops any task that has missed its deadline"
+  /// before any mapping decision, §II) and then calls startNextIfIdle().
+  void finishRunning(Time now, TaskPool& pool, const ExecutionModel& model);
+
+  /// Starts the queue's head task if the machine is idle.  Returns the
+  /// started task or kInvalidTask.
+  TaskId startNextIfIdle(Time now, TaskPool& pool, const ExecutionModel& model);
+
+  /// finishRunning + startNextIfIdle in one step; convenience for direct
+  /// machine-level use (and tests).  Returns the promoted task.
+  TaskId completeRunning(Time now, TaskPool& pool, const ExecutionModel& model);
+
+  /// Removes a *queued* (not running) task, e.g. a pruner drop.
+  /// Throws std::logic_error if the task is not in this queue.
+  void removeQueued(TaskId task, Time now, TaskPool& pool,
+                    const ExecutionModel& model);
+
+  /// Aborts the running task (optional abort-at-deadline policy) without
+  /// promoting a successor.
+  void abortRunning(Time now, TaskPool& pool, const ExecutionModel& model);
+
+ private:
+  std::int64_t binAt(Time t) const;
+  void rebuildTail(Time now, const TaskPool& pool, const ExecutionModel& model);
+  void startTask(TaskId task, Time now, TaskPool& pool);
+
+  MachineId id_;
+  double binWidth_;
+  bool trackTail_;
+  TaskId running_ = kInvalidTask;
+  Time runStart_ = 0;
+  std::deque<TaskId> queue_;
+  /// Eq. 1 recursion state; empty when the machine has no work.
+  std::optional<prob::DiscretePmf> tail_;
+  Time busyTime_ = 0;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,87 @@
+#include "sim/metrics.h"
+
+#include <stdexcept>
+
+namespace hcs::sim {
+
+Metrics::Metrics(int numTaskTypes)
+    : perType_(static_cast<std::size_t>(numTaskTypes)) {
+  if (numTaskTypes <= 0) {
+    throw std::invalid_argument("Metrics: need at least one task type");
+  }
+}
+
+bool Metrics::isCounted(TaskId id) const {
+  if (counted_.empty()) return true;
+  const auto idx = static_cast<std::size_t>(id);
+  return idx < counted_.size() && counted_[idx];
+}
+
+void Metrics::recordTerminal(const Task& task) {
+  if (!isTerminal(task.status)) {
+    throw std::logic_error("Metrics::recordTerminal: task not terminal");
+  }
+  if (!isCounted(task.id)) return;
+  ++countedTotal_;
+  countedValue_ += task.value;
+  if (task.status == TaskStatus::CompletedOnTime) onTimeValue_ += task.value;
+  auto& type = perType_[static_cast<std::size_t>(task.type)];
+  switch (task.status) {
+    case TaskStatus::CompletedOnTime:
+      ++type.completedOnTime;
+      ++totals_.completedOnTime;
+      break;
+    case TaskStatus::CompletedLate:
+      ++type.completedLate;
+      ++totals_.completedLate;
+      break;
+    case TaskStatus::DroppedReactive:
+      ++type.droppedReactive;
+      ++totals_.droppedReactive;
+      break;
+    case TaskStatus::DroppedProactive:
+      ++type.droppedProactive;
+      ++totals_.droppedProactive;
+      break;
+    default:
+      break;
+  }
+}
+
+double Metrics::robustnessPercent() const {
+  if (countedTotal_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(totals_.completedOnTime) /
+         static_cast<double>(countedTotal_);
+}
+
+double Metrics::weightedRobustnessPercent() const {
+  if (countedValue_ <= 0.0) return 0.0;
+  return 100.0 * onTimeValue_ / countedValue_;
+}
+
+void Metrics::recordExecution(MachineId machine, Time duration, bool useful) {
+  if (machine < 0) {
+    throw std::invalid_argument("recordExecution: invalid machine");
+  }
+  const auto idx = static_cast<std::size_t>(machine);
+  if (perMachine_.size() <= idx) perMachine_.resize(idx + 1);
+  if (useful) {
+    perMachine_[idx].useful += duration;
+  } else {
+    perMachine_[idx].wasted += duration;
+  }
+}
+
+Time Metrics::usefulBusyTime() const {
+  Time total = 0;
+  for (const ExecutionSplit& split : perMachine_) total += split.useful;
+  return total;
+}
+
+Time Metrics::wastedBusyTime() const {
+  Time total = 0;
+  for (const ExecutionSplit& split : perMachine_) total += split.wasted;
+  return total;
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,93 @@
+#pragma once
+// Per-trial outcome accounting.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+/// Per-task-type terminal counters; the Fairness module reads these and the
+/// experiment framework aggregates them across trials.
+struct TypeOutcomes {
+  std::size_t completedOnTime = 0;
+  std::size_t completedLate = 0;
+  std::size_t droppedReactive = 0;
+  std::size_t droppedProactive = 0;
+
+  std::size_t total() const {
+    return completedOnTime + completedLate + droppedReactive + droppedProactive;
+  }
+};
+
+/// Trial-level metrics.  Robustness — the paper's headline number — is the
+/// percentage of *counted* tasks that completed on time.  Following §V-B,
+/// the first and last `warmupTasks` arrivals of a trial can be excluded so
+/// the measurement covers only the oversubscribed steady state.
+class Metrics {
+ public:
+  explicit Metrics(int numTaskTypes);
+
+  /// Records a terminal state transition for `task`.
+  void recordTerminal(const Task& task);
+
+  /// Records one deferral decision (a task pushed back to the batch queue).
+  void recordDeferral() { ++deferrals_; }
+
+  /// Records machine time spent executing a task.  `useful` when the task
+  /// completed on time; otherwise the time was wasted on a failing task —
+  /// the quantity the paper's §VII energy argument is about.
+  void recordExecution(MachineId machine, Time duration, bool useful);
+
+  /// Marks task ids excluded from robustness (warm-up / cool-down trimming).
+  void setCounted(std::vector<bool> counted) { counted_ = std::move(counted); }
+
+  std::size_t completedOnTime() const { return totals_.completedOnTime; }
+  std::size_t completedLate() const { return totals_.completedLate; }
+  std::size_t droppedReactive() const { return totals_.droppedReactive; }
+  std::size_t droppedProactive() const { return totals_.droppedProactive; }
+  std::size_t deferrals() const { return deferrals_; }
+  std::size_t countedTasks() const { return countedTotal_; }
+
+  /// % of counted tasks that completed on time (the robustness metric).
+  double robustnessPercent() const;
+
+  /// Value-weighted robustness: sum of values of on-time counted tasks over
+  /// the total counted value (equals robustnessPercent() when every task
+  /// has value 1).
+  double weightedRobustnessPercent() const;
+
+  const TypeOutcomes& totals() const { return totals_; }
+  const std::vector<TypeOutcomes>& perType() const { return perType_; }
+
+  /// Machine time split into useful (on-time completions) vs wasted (late
+  /// or aborted executions).
+  struct ExecutionSplit {
+    Time useful = 0;
+    Time wasted = 0;
+
+    Time total() const { return useful + wasted; }
+  };
+
+  const std::vector<ExecutionSplit>& perMachineExecution() const {
+    return perMachine_;
+  }
+  Time usefulBusyTime() const;
+  Time wastedBusyTime() const;
+
+ private:
+  bool isCounted(TaskId id) const;
+
+  std::vector<TypeOutcomes> perType_;
+  TypeOutcomes totals_;
+  std::vector<bool> counted_;  ///< empty = count everything
+  std::size_t countedTotal_ = 0;
+  std::size_t deferrals_ = 0;
+  std::vector<ExecutionSplit> perMachine_;
+  double countedValue_ = 0.0;
+  double onTimeValue_ = 0.0;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,48 @@
+#include "sim/task.h"
+
+namespace hcs::sim {
+
+bool isTerminal(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::CompletedOnTime:
+    case TaskStatus::CompletedLate:
+    case TaskStatus::DroppedReactive:
+    case TaskStatus::DroppedProactive:
+      return true;
+    case TaskStatus::Created:
+    case TaskStatus::Batched:
+    case TaskStatus::Queued:
+    case TaskStatus::Running:
+      return false;
+  }
+  return false;
+}
+
+std::string_view toString(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::Created: return "Created";
+    case TaskStatus::Batched: return "Batched";
+    case TaskStatus::Queued: return "Queued";
+    case TaskStatus::Running: return "Running";
+    case TaskStatus::CompletedOnTime: return "CompletedOnTime";
+    case TaskStatus::CompletedLate: return "CompletedLate";
+    case TaskStatus::DroppedReactive: return "DroppedReactive";
+    case TaskStatus::DroppedProactive: return "DroppedProactive";
+  }
+  return "Unknown";
+}
+
+TaskId TaskPool::create(TaskType type, Time arrival, Time deadline,
+                        double value) {
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  Task t;
+  t.id = id;
+  t.type = type;
+  t.arrival = arrival;
+  t.deadline = deadline;
+  t.value = value;
+  tasks_.push_back(t);
+  return id;
+}
+
+}  // namespace hcs::sim

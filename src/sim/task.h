@@ -1,0 +1,69 @@
+#pragma once
+// Task model and lifecycle.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+/// Lifecycle of a task inside one trial.
+///
+/// Terminal states mirror the paper's accounting: only CompletedOnTime
+/// counts toward robustness; DroppedReactive is the mandatory drop of a task
+/// already past its deadline (§II); DroppedProactive is the pruner's
+/// predictive drop (§IV-C).
+enum class TaskStatus {
+  Created,           ///< generated, not yet arrived
+  Batched,           ///< waiting in the batch (arrival) queue
+  Queued,            ///< assigned to a machine queue, not yet running
+  Running,           ///< executing on a machine
+  CompletedOnTime,   ///< finished at or before its deadline
+  CompletedLate,     ///< finished after its deadline
+  DroppedReactive,   ///< evicted because its deadline had already passed
+  DroppedProactive,  ///< evicted by the pruner (low chance of success)
+};
+
+bool isTerminal(TaskStatus s);
+std::string_view toString(TaskStatus s);
+
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskType type = 0;
+  Time arrival = 0;
+  Time deadline = 0;
+  /// Relative worth of completing this task on time (priority/cost-aware
+  /// pruning, the paper's §VII future work).  1.0 = ordinary task.
+  double value = 1.0;
+
+  TaskStatus status = TaskStatus::Created;
+  MachineId machine = kInvalidMachine;
+  Time queuedAt = -1;    ///< when dispatched to a machine queue
+  Time startTime = -1;   ///< when execution began
+  Time finishTime = -1;  ///< when execution finished (or the task was dropped)
+  int deferrals = 0;     ///< how many mapping events deferred this task
+
+  bool missedDeadline(Time now) const { return now > deadline; }
+};
+
+/// Owns every task of a trial; TaskIds index into it.
+class TaskPool {
+ public:
+  TaskId create(TaskType type, Time arrival, Time deadline,
+                double value = 1.0);
+
+  Task& operator[](TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
+  const Task& operator[](TaskId id) const {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return tasks_.size(); }
+  const std::vector<Task>& all() const { return tasks_; }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace hcs::sim

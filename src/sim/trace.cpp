@@ -1,0 +1,49 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace hcs::sim {
+
+std::string_view toString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::Arrival: return "Arrival";
+    case TraceEventKind::Dispatched: return "Dispatched";
+    case TraceEventKind::Started: return "Started";
+    case TraceEventKind::Completed: return "Completed";
+    case TraceEventKind::Deferred: return "Deferred";
+    case TraceEventKind::DroppedReactive: return "DroppedReactive";
+    case TraceEventKind::DroppedProactive: return "DroppedProactive";
+    case TraceEventKind::Aborted: return "Aborted";
+  }
+  return "Unknown";
+}
+
+TraceSink TraceLog::sink() {
+  return [this](const TraceEvent& event) { events_.push_back(event); };
+}
+
+std::vector<TraceEvent> TraceLog::forTask(TaskId task) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.task == task) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::ofKind(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceLog::writeCsv(std::ostream& out) const {
+  out << "time,kind,task,machine\n";
+  for (const TraceEvent& e : events_) {
+    out << e.time << ',' << toString(e.kind) << ',' << e.task << ','
+        << e.machine << '\n';
+  }
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Per-trial event tracing: an optional sink receives every task lifecycle
+// transition, giving downstream tooling (debuggers, timeline visualizers,
+// log auditors) the full story of a trial without touching the scheduler.
+
+#include <functional>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+enum class TraceEventKind {
+  Arrival,           ///< task entered the system
+  Dispatched,        ///< task assigned to a machine queue
+  Started,           ///< task began executing
+  Completed,         ///< task finished (on time or late)
+  Deferred,          ///< pruner pushed the task back to the batch queue
+  DroppedReactive,   ///< evicted: deadline already passed
+  DroppedProactive,  ///< evicted: chance of success below the bar
+  Aborted,           ///< running task cut off at its deadline
+};
+
+std::string_view toString(TraceEventKind kind);
+
+struct TraceEvent {
+  Time time = 0;
+  TraceEventKind kind = TraceEventKind::Arrival;
+  TaskId task = kInvalidTask;
+  MachineId machine = kInvalidMachine;  ///< where applicable
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Sink signature; install via core::SimulationConfig::traceSink.
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+/// Convenience sink: collects events in memory, query/export helpers.
+class TraceLog {
+ public:
+  /// Returns a sink bound to this log (the log must outlive the trial).
+  TraceSink sink();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events of one task, in order.
+  std::vector<TraceEvent> forTask(TaskId task) const;
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> ofKind(TraceEventKind kind) const;
+
+  /// "time,kind,task,machine" rows with a header.
+  void writeCsv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Fundamental identifiers and the execution-model interface shared by the
+// simulator, the heuristics, and the pruning mechanism.
+
+#include <cstdint>
+
+namespace hcs::prob {
+class DiscretePmf;
+}
+
+namespace hcs::sim {
+
+/// Simulation time, in abstract "time units" (the paper's axis in Fig. 6).
+using Time = double;
+
+/// Index into the trial's TaskPool.
+using TaskId = std::int64_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+/// Index of a machine within the cluster.
+using MachineId = int;
+inline constexpr MachineId kInvalidMachine = -1;
+
+/// Index of a task type (0..numTaskTypes-1).
+using TaskType = int;
+
+/// Where the stochastic execution times come from.
+///
+/// The simulator and the heuristics only ever see this interface; the
+/// workload layer binds it to a PET matrix plus a machine→machine-type map,
+/// which is also how homogeneous systems are modelled (all machines bound to
+/// the same row of the matrix).
+class ExecutionModel {
+ public:
+  virtual ~ExecutionModel() = default;
+
+  virtual int numMachines() const = 0;
+  virtual int numTaskTypes() const = 0;
+
+  /// Probabilistic Execution Time of `type` on machine `machine` (PET).
+  virtual const prob::DiscretePmf& pet(TaskType type, MachineId machine)
+      const = 0;
+
+  /// Cached mean of pet(type, machine); heuristics call this in tight loops.
+  virtual double expectedExec(TaskType type, MachineId machine) const = 0;
+};
+
+}  // namespace hcs::sim

@@ -1,0 +1,99 @@
+#include "stats/confidence.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcs::stats {
+
+namespace {
+
+// Two-sided 95% Student-t critical values for df = 1..30.
+constexpr std::array<double, 30> kT95 = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+// Two-sided 99% values for df = 1..30.
+constexpr std::array<double, 30> kT99 = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+// Two-sided 90% values for df = 1..30.
+constexpr std::array<double, 30> kT90 = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+
+// Inverse standard-normal CDF (Acklam's rational approximation).
+double normalQuantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("normalQuantile: p outside (0,1)");
+  }
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double pl = 0.02425;
+  double q, r;
+  if (p < pl) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - pl) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double tCritical(double confidence, std::size_t degreesOfFreedom) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("tCritical: confidence outside (0,1)");
+  }
+  if (degreesOfFreedom == 0) {
+    throw std::invalid_argument("tCritical: zero degrees of freedom");
+  }
+  const std::array<double, 30>* table = nullptr;
+  if (std::abs(confidence - 0.95) < 1e-9) table = &kT95;
+  if (std::abs(confidence - 0.99) < 1e-9) table = &kT99;
+  if (std::abs(confidence - 0.90) < 1e-9) table = &kT90;
+  if (table != nullptr && degreesOfFreedom <= table->size()) {
+    return (*table)[degreesOfFreedom - 1];
+  }
+  // Normal quantile with a first-order df correction: t ≈ z + (z + z^3) / 4df.
+  const double z = normalQuantile(0.5 + confidence / 2.0);
+  const double df = static_cast<double>(degreesOfFreedom);
+  return z + (z + z * z * z) / (4.0 * df);
+}
+
+ConfidenceInterval meanConfidenceInterval(const RunningStats& stats,
+                                          double confidence) {
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  if (stats.count() >= 2) {
+    ci.halfWidth = tCritical(confidence, stats.count() - 1) * stats.stderrMean();
+  }
+  return ci;
+}
+
+}  // namespace hcs::stats

@@ -1,0 +1,33 @@
+#pragma once
+// Confidence intervals for trial means.
+//
+// The paper reports "the mean and 95% confidence interval" over 30 workload
+// trials (§V-A); this header supplies the Student-t machinery the experiment
+// framework uses to do the same.
+
+#include <cstddef>
+
+#include "stats/running_stats.h"
+
+namespace hcs::stats {
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (e.g. 0.95) and degrees of freedom.  Exact table for small df, normal
+/// approximation with Cornish-Fisher-style correction beyond.
+double tCritical(double confidence, std::size_t degreesOfFreedom);
+
+/// A symmetric confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double halfWidth = 0.0;
+
+  double lower() const { return mean - halfWidth; }
+  double upper() const { return mean + halfWidth; }
+  bool contains(double x) const { return x >= lower() && x <= upper(); }
+};
+
+/// 95%-by-default CI of the mean from accumulated samples.
+ConfidenceInterval meanConfidenceInterval(const RunningStats& stats,
+                                          double confidence = 0.95);
+
+}  // namespace hcs::stats

@@ -1,0 +1,36 @@
+#pragma once
+// Streaming summary statistics (Welford's algorithm).
+
+#include <cstddef>
+
+namespace hcs::stats {
+
+/// Accumulates count / mean / variance / min / max in one pass.
+/// Numerically stable (Welford); suitable for the long per-trial streams the
+/// experiment framework aggregates.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator). Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean. Zero for fewer than two samples.
+  double stderrMean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hcs::stats

@@ -1,0 +1,18 @@
+#include "workload/deadline.h"
+
+#include <stdexcept>
+
+namespace hcs::workload {
+
+sim::Time assignDeadline(const PetMatrix& pet, sim::TaskType type,
+                         sim::Time arrival, const DeadlineSpec& spec,
+                         prob::Rng& rng) {
+  if (spec.betaHi < spec.betaLo || spec.betaLo < 0.0) {
+    throw std::invalid_argument("assignDeadline: malformed beta range");
+  }
+  const double beta = rng.uniform(spec.betaLo, spec.betaHi);
+  return arrival + pet.typeMeanAcrossMachines(type) +
+         beta * pet.overallMean();
+}
+
+}  // namespace hcs::workload

@@ -1,0 +1,166 @@
+#include "workload/pet_matrix.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "prob/histogram.h"
+
+namespace hcs::workload {
+
+PetMatrix::PetMatrix(std::vector<std::vector<prob::DiscretePmf>> pmfs)
+    : pmfs_(std::move(pmfs)) {
+  if (pmfs_.empty() || pmfs_.front().empty()) {
+    throw std::invalid_argument("PetMatrix: empty matrix");
+  }
+  const std::size_t machines = pmfs_.front().size();
+  const double width = pmfs_.front().front().binWidth();
+  means_.reserve(pmfs_.size());
+  typeMeans_.reserve(pmfs_.size());
+  for (const auto& row : pmfs_) {
+    if (row.size() != machines) {
+      throw std::invalid_argument("PetMatrix: ragged matrix");
+    }
+    std::vector<double> rowMeans;
+    rowMeans.reserve(machines);
+    for (const auto& pmf : row) {
+      if (std::abs(pmf.binWidth() - width) > 1e-12) {
+        throw std::invalid_argument("PetMatrix: mixed bin widths");
+      }
+      rowMeans.push_back(pmf.mean());
+    }
+    typeMeans_.push_back(
+        std::accumulate(rowMeans.begin(), rowMeans.end(), 0.0) /
+        static_cast<double>(machines));
+    means_.push_back(std::move(rowMeans));
+  }
+  overallMean_ =
+      std::accumulate(typeMeans_.begin(), typeMeans_.end(), 0.0) /
+      static_cast<double>(typeMeans_.size());
+}
+
+PetMatrix PetMatrix::specLike(const PetSynthesisConfig& config,
+                              std::uint64_t seed) {
+  if (config.numTaskTypes <= 0 || config.numMachineTypes <= 0) {
+    throw std::invalid_argument("specLike: dimensions must be positive");
+  }
+  prob::Rng rng(seed);
+  std::vector<double> baseMean(static_cast<std::size_t>(config.numTaskTypes));
+  for (double& m : baseMean) {
+    m = rng.uniform(config.baseMeanLo, config.baseMeanHi);
+  }
+  std::vector<double> speed(static_cast<std::size_t>(config.numMachineTypes));
+  for (double& s : speed) s = rng.uniform(config.speedLo, config.speedHi);
+
+  std::vector<std::vector<prob::DiscretePmf>> pmfs;
+  pmfs.reserve(baseMean.size());
+  for (double typeMean : baseMean) {
+    std::vector<prob::DiscretePmf> row;
+    row.reserve(speed.size());
+    for (double machineSpeed : speed) {
+      const double affinity = rng.uniform(config.affinityLo, config.affinityHi);
+      const double mean =
+          std::max(typeMean * machineSpeed * affinity, config.binWidth);
+      const double shape = rng.uniform(config.shapeLo, config.shapeHi);
+      row.push_back(prob::gammaHistogramPmf(
+          rng, mean, shape, config.samplesPerHistogram, config.binWidth));
+    }
+    pmfs.push_back(std::move(row));
+  }
+  return PetMatrix(std::move(pmfs));
+}
+
+PetMatrix PetMatrix::fromMeans(const std::vector<std::vector<double>>& means,
+                               double shape, std::uint64_t seed,
+                               double binWidth, std::size_t samples) {
+  if (means.empty() || means.front().empty()) {
+    throw std::invalid_argument("fromMeans: empty matrix");
+  }
+  prob::Rng rng(seed);
+  std::vector<std::vector<prob::DiscretePmf>> pmfs;
+  pmfs.reserve(means.size());
+  for (const auto& row : means) {
+    std::vector<prob::DiscretePmf> out;
+    out.reserve(row.size());
+    for (double mean : row) {
+      out.push_back(prob::gammaHistogramPmf(rng, mean, shape, samples,
+                                            binWidth));
+    }
+    pmfs.push_back(std::move(out));
+  }
+  return PetMatrix(std::move(pmfs));
+}
+
+PetMatrix PetMatrix::homogenized(int machineType) const {
+  if (machineType < 0 || machineType >= numMachineTypes()) {
+    throw std::out_of_range("homogenized: machine type out of range");
+  }
+  std::vector<std::vector<prob::DiscretePmf>> pmfs;
+  pmfs.reserve(pmfs_.size());
+  for (const auto& row : pmfs_) {
+    pmfs.emplace_back(
+        row.size(), row[static_cast<std::size_t>(machineType)]);
+  }
+  return PetMatrix(std::move(pmfs));
+}
+
+const prob::DiscretePmf& PetMatrix::pet(sim::TaskType type,
+                                        int machineType) const {
+  return pmfs_[static_cast<std::size_t>(type)]
+              [static_cast<std::size_t>(machineType)];
+}
+
+double PetMatrix::expectedExec(sim::TaskType type, int machineType) const {
+  return means_[static_cast<std::size_t>(type)]
+               [static_cast<std::size_t>(machineType)];
+}
+
+double PetMatrix::typeMeanAcrossMachines(sim::TaskType type) const {
+  return typeMeans_[static_cast<std::size_t>(type)];
+}
+
+double PetMatrix::overallMean() const { return overallMean_; }
+
+BoundExecutionModel::BoundExecutionModel(std::shared_ptr<const PetMatrix> pet,
+                                         std::vector<int> machineTypes)
+    : pet_(std::move(pet)), machineTypes_(std::move(machineTypes)) {
+  if (pet_ == nullptr) {
+    throw std::invalid_argument("BoundExecutionModel: null matrix");
+  }
+  if (machineTypes_.empty()) {
+    throw std::invalid_argument("BoundExecutionModel: no machines");
+  }
+  for (int t : machineTypes_) {
+    if (t < 0 || t >= pet_->numMachineTypes()) {
+      throw std::out_of_range("BoundExecutionModel: machine type out of range");
+    }
+  }
+}
+
+BoundExecutionModel BoundExecutionModel::heterogeneous(
+    std::shared_ptr<const PetMatrix> p) {
+  std::vector<int> types(static_cast<std::size_t>(p->numMachineTypes()));
+  std::iota(types.begin(), types.end(), 0);
+  return BoundExecutionModel(std::move(p), std::move(types));
+}
+
+BoundExecutionModel BoundExecutionModel::homogeneous(
+    std::shared_ptr<const PetMatrix> p, int numMachines, int machineType) {
+  if (numMachines <= 0) {
+    throw std::invalid_argument("homogeneous: need at least one machine");
+  }
+  std::vector<int> types(static_cast<std::size_t>(numMachines), machineType);
+  return BoundExecutionModel(std::move(p), std::move(types));
+}
+
+const prob::DiscretePmf& BoundExecutionModel::pet(
+    sim::TaskType type, sim::MachineId machine) const {
+  return pet_->pet(type, machineTypes_[static_cast<std::size_t>(machine)]);
+}
+
+double BoundExecutionModel::expectedExec(sim::TaskType type,
+                                         sim::MachineId machine) const {
+  return pet_->expectedExec(type,
+                            machineTypes_[static_cast<std::size_t>(machine)]);
+}
+
+}  // namespace hcs::workload

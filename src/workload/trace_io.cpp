@@ -1,0 +1,69 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcs::workload {
+
+void saveWorkload(const Workload& workload, std::ostream& out) {
+  out << "hcs-workload v2 " << workload.numTaskTypes() << "\n";
+  out << std::setprecision(17);
+  for (const TaskSpec& t : workload.tasks()) {
+    out << t.type << ' ' << t.arrival << ' ' << t.deadline << ' ' << t.value
+        << "\n";
+  }
+}
+
+void saveWorkloadFile(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("saveWorkloadFile: cannot open " + path);
+  }
+  saveWorkload(workload, out);
+}
+
+Workload loadWorkload(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("loadWorkload: empty input");
+  }
+  std::istringstream header(line);
+  std::string magic, version;
+  int numTaskTypes = 0;
+  header >> magic >> version >> numTaskTypes;
+  if (magic != "hcs-workload" || (version != "v1" && version != "v2") ||
+      numTaskTypes <= 0) {
+    throw std::runtime_error("loadWorkload: bad header: " + line);
+  }
+  const bool hasValues = version == "v2";
+  std::vector<TaskSpec> tasks;
+  std::size_t lineNo = 1;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream row(line);
+    TaskSpec t;
+    if (!(row >> t.type >> t.arrival >> t.deadline)) {
+      throw std::runtime_error("loadWorkload: malformed line " +
+                               std::to_string(lineNo));
+    }
+    if (hasValues && !(row >> t.value)) {
+      throw std::runtime_error("loadWorkload: missing value on line " +
+                               std::to_string(lineNo));
+    }
+    tasks.push_back(t);
+  }
+  return Workload(std::move(tasks), numTaskTypes);
+}
+
+Workload loadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("loadWorkloadFile: cannot open " + path);
+  }
+  return loadWorkload(in);
+}
+
+}  // namespace hcs::workload

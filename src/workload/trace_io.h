@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text persistence for workload trials.
+//
+// The paper published its workload trials for reproducibility (§V-B, the
+// git.io link is dead); this module provides the equivalent: trials
+// generated here can be saved, shared, and replayed bit-for-bit.
+//
+// Format (line-oriented, '#' comments allowed):
+//   hcs-workload v2 <numTaskTypes>
+//   <type> <arrival> <deadline> <value>   (one per task, sorted by arrival)
+// v1 traces (three columns, value implicitly 1.0) are still read.
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload.h"
+
+namespace hcs::workload {
+
+void saveWorkload(const Workload& workload, std::ostream& out);
+void saveWorkloadFile(const Workload& workload, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+Workload loadWorkload(std::istream& in);
+Workload loadWorkloadFile(const std::string& path);
+
+}  // namespace hcs::workload

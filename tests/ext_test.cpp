@@ -1,0 +1,224 @@
+// Tests for the §VII future-work extensions: energy/cost accounting,
+// priority values, and priority-aware pruning.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/simulation.h"
+#include "ext/energy.h"
+#include "ext/priority.h"
+#include "pruning/pruner.h"
+#include "test_util.h"
+#include "workload/pet_matrix.h"
+
+namespace {
+
+using namespace hcs;
+using hcs::testutil::FakeModel;
+using hcs::workload::TaskSpec;
+using hcs::workload::Workload;
+
+// --- Power / cost models ---------------------------------------------------------
+
+TEST(PowerModelTest, UniformFillsEveryMachine) {
+  const auto model = ext::PowerModel::uniform(3, 100.0, 30.0);
+  EXPECT_EQ(model.busyPower.size(), 3u);
+  EXPECT_DOUBLE_EQ(model.busyPower[2], 100.0);
+  EXPECT_DOUBLE_EQ(model.idlePower[0], 30.0);
+  EXPECT_THROW(ext::PowerModel::uniform(0, 100.0, 30.0),
+               std::invalid_argument);
+  EXPECT_THROW(ext::PowerModel::uniform(2, 10.0, 30.0),
+               std::invalid_argument);  // busy < idle
+}
+
+TEST(PowerModelTest, ProportionalScalesBusyPower) {
+  const auto model = ext::PowerModel::proportional({1.0, 2.0}, 50.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.busyPower[0], 50.0);
+  EXPECT_DOUBLE_EQ(model.busyPower[1], 100.0);
+  EXPECT_DOUBLE_EQ(model.idlePower[1], 10.0);
+  EXPECT_THROW(ext::PowerModel::proportional({-1.0}, 50.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(CostModelTest, UniformAndValidation) {
+  const auto model = ext::CostModel::uniform(4, 2.5);
+  EXPECT_EQ(model.pricePerTimeUnit.size(), 4u);
+  EXPECT_THROW(ext::CostModel::uniform(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ext::CostModel::uniform(1, -1.0), std::invalid_argument);
+}
+
+// --- Energy assessment -------------------------------------------------------------
+
+TEST(EnergyTest, SplitsUsefulAndWastedEnergy) {
+  // One machine, two tasks: the first (4 units) completes on time, the
+  // second (4 units) finishes at 8 > deadline 6 — late, so wasted.
+  const FakeModel model = FakeModel::deterministic({{4.0}});
+  const Workload wl = Workload(
+      {TaskSpec{0, 0.0, 100.0}, TaskSpec{0, 0.0, 6.0}}, 1);
+  core::SimulationConfig config;
+  config.heuristic = "MCT";
+  config.pruning = pruning::PruningConfig::disabled();
+  config.warmupMargin = 0;
+  const core::TrialResult trial = core::Simulation(model, wl, config).run();
+
+  ASSERT_DOUBLE_EQ(trial.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(trial.metrics.usefulBusyTime(), 4.0);
+  EXPECT_DOUBLE_EQ(trial.metrics.wastedBusyTime(), 4.0);
+
+  const auto power = ext::PowerModel::uniform(1, 100.0, 25.0);
+  const auto cost = ext::CostModel::uniform(1, 2.0);
+  const ext::EnergyCostReport report = ext::assess(trial, power, cost);
+  EXPECT_DOUBLE_EQ(report.usefulEnergy, 400.0);
+  EXPECT_DOUBLE_EQ(report.wastedEnergy, 400.0);
+  EXPECT_DOUBLE_EQ(report.idleEnergy, 0.0);  // machine busy the whole trial
+  EXPECT_DOUBLE_EQ(report.totalEnergy, 800.0);
+  EXPECT_DOUBLE_EQ(report.wastedBusyFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(report.totalCost, 16.0);          // 8 units x 2.0
+  EXPECT_DOUBLE_EQ(report.costPerOnTimeTask, 16.0);  // one on-time task
+}
+
+TEST(EnergyTest, IdleMachinesDrawIdlePower) {
+  const FakeModel model = FakeModel::deterministic({{4.0, 4.0}});
+  const Workload wl = Workload({TaskSpec{0, 0.0, 100.0}}, 1);
+  core::SimulationConfig config;
+  config.heuristic = "MCT";
+  config.pruning = pruning::PruningConfig::disabled();
+  config.warmupMargin = 0;
+  const core::TrialResult trial = core::Simulation(model, wl, config).run();
+  const auto power = ext::PowerModel::uniform(2, 100.0, 10.0);
+  const auto cost = ext::CostModel::uniform(2, 1.0);
+  const ext::EnergyCostReport report = ext::assess(trial, power, cost);
+  // Machine 0 busy 0..4; machine 1 idle for the whole 4-unit makespan.
+  EXPECT_DOUBLE_EQ(report.usefulEnergy, 400.0);
+  EXPECT_DOUBLE_EQ(report.idleEnergy, 40.0);
+  EXPECT_DOUBLE_EQ(report.totalCost, 8.0);
+}
+
+TEST(EnergyTest, RejectsUndersizedModels) {
+  const FakeModel model = FakeModel::deterministic({{4.0, 4.0}});
+  const Workload wl = Workload(
+      {TaskSpec{0, 0.0, 100.0}, TaskSpec{0, 0.0, 100.0}}, 1);
+  core::SimulationConfig config;
+  config.heuristic = "MCT";
+  config.warmupMargin = 0;
+  const core::TrialResult trial = core::Simulation(model, wl, config).run();
+  EXPECT_THROW(ext::assess(trial, ext::PowerModel::uniform(1, 100.0, 10.0),
+                           ext::CostModel::uniform(2, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(EnergyTest, PruningReducesWastedEnergyShare) {
+  // The §VII conjecture, as a regression test on a seeded oversubscribed
+  // workload.
+  const auto pet = std::make_shared<const workload::PetMatrix>(
+      workload::PetMatrix::specLike(77));
+  const auto cluster = workload::BoundExecutionModel::heterogeneous(pet);
+  workload::ArrivalSpec arrival;
+  arrival.span = 300.0;
+  arrival.totalTasks = 700;
+  arrival.numTaskTypes = pet->numTaskTypes();
+  const Workload wl = Workload::generate(*pet, arrival, {}, 8);
+  const auto power = ext::PowerModel::uniform(cluster.numMachines(), 100, 30);
+  const auto cost = ext::CostModel::uniform(cluster.numMachines(), 1.0);
+
+  core::SimulationConfig config;
+  config.heuristic = "MM";
+  config.warmupMargin = 0;
+  config.pruning = pruning::PruningConfig::disabled();
+  const auto bare =
+      ext::assess(core::Simulation(cluster, wl, config).run(), power, cost);
+  config.pruning = pruning::PruningConfig{};
+  const auto pruned =
+      ext::assess(core::Simulation(cluster, wl, config).run(), power, cost);
+  EXPECT_LT(pruned.wastedBusyFraction(), bare.wastedBusyFraction());
+  EXPECT_LT(pruned.costPerOnTimeTask, bare.costPerOnTimeTask);
+}
+
+// --- Priority values ----------------------------------------------------------------
+
+TEST(PriorityTest, AssignValuesIsDeterministicAndInRange) {
+  const auto pet = std::make_shared<const workload::PetMatrix>(
+      workload::PetMatrix::specLike(78));
+  workload::ArrivalSpec arrival;
+  arrival.span = 100.0;
+  arrival.totalTasks = 400;
+  arrival.numTaskTypes = pet->numTaskTypes();
+  const Workload base = Workload::generate(*pet, arrival, {}, 9);
+  ext::ValueSpec spec;
+  const Workload a = ext::assignValues(base, spec, 1);
+  const Workload b = ext::assignValues(base, spec, 1);
+  std::size_t premium = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks()[i].value, b.tasks()[i].value);
+    EXPECT_TRUE(a.tasks()[i].value == 1.0 ||
+                a.tasks()[i].value == spec.highValue);
+    if (a.tasks()[i].value == spec.highValue) ++premium;
+  }
+  // ~20% premium.
+  EXPECT_NEAR(static_cast<double>(premium) / static_cast<double>(a.size()),
+              spec.highFraction, 0.06);
+  EXPECT_THROW(ext::assignValues(base, ext::ValueSpec{-1.0, 0.2}, 1),
+               std::invalid_argument);
+}
+
+TEST(PriorityTest, WeightedRobustnessCountsValues) {
+  sim::Metrics metrics(1);
+  sim::Task cheap;
+  cheap.id = 0;
+  cheap.value = 1.0;
+  cheap.status = sim::TaskStatus::DroppedReactive;
+  sim::Task premium;
+  premium.id = 1;
+  premium.value = 4.0;
+  premium.status = sim::TaskStatus::CompletedOnTime;
+  metrics.recordTerminal(cheap);
+  metrics.recordTerminal(premium);
+  EXPECT_DOUBLE_EQ(metrics.robustnessPercent(), 50.0);
+  EXPECT_DOUBLE_EQ(metrics.weightedRobustnessPercent(), 80.0);
+}
+
+// --- Priority-aware pruning bar -------------------------------------------------------
+
+TEST(PriorityPruningTest, BarScalesWithValue) {
+  pruning::PruningConfig config;
+  config.priorityAware = true;
+  config.priorityWeight = 1.0;
+  config.priorityReference = 1.0;
+  pruning::Pruner pruner(config, 1);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 4.0), 0.125);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 0.5), 0.99);  // clamped
+}
+
+TEST(PriorityPruningTest, ReferenceRecentersTheBar) {
+  pruning::PruningConfig config;
+  config.priorityAware = true;
+  config.priorityReference = 1.6;
+  pruning::Pruner pruner(config, 1);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 1.6), 0.5);
+  EXPECT_NEAR(pruner.pruningBar(0, 1.0), 0.8, 1e-12);
+  EXPECT_NEAR(pruner.pruningBar(0, 4.0), 0.2, 1e-12);
+}
+
+TEST(PriorityPruningTest, DisabledIgnoresValue) {
+  pruning::PruningConfig config;  // priorityAware = false
+  pruning::Pruner pruner(config, 1);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(pruner.pruningBar(0, 0.1), 0.5);
+}
+
+TEST(PriorityPruningTest, DeferAndDropRespectValues) {
+  pruning::PruningConfig config;
+  config.priorityAware = true;
+  config.toggle = pruning::ToggleMode::AlwaysDropping;
+  pruning::Pruner pruner(config, 1);
+  pruner.beginMappingEvent({});
+  // chance 0.3: pruned at value 1 (bar 0.5), kept at value 4 (bar 0.125).
+  EXPECT_TRUE(pruner.shouldDefer(0, 0.3, 1.0));
+  EXPECT_FALSE(pruner.shouldDefer(0, 0.3, 4.0));
+  EXPECT_TRUE(pruner.shouldDrop(0, 0.3, 1.0));
+  EXPECT_FALSE(pruner.shouldDrop(0, 0.3, 4.0));
+}
+
+}  // namespace

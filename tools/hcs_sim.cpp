@@ -1,0 +1,206 @@
+// hcs_sim — command-line driver for the simulation platform.
+//
+// Runs a multi-trial experiment for any heuristic/pruning configuration
+// without writing C++.  Examples:
+//
+//   hcs_sim --heuristic MM --rate 20000 --trials 10
+//   hcs_sim --heuristic MSD --no-pruning --pattern constant
+//   hcs_sim --heuristic EDF --homogeneous --threshold 0.25 --csv
+//   hcs_sim --heuristic KPB --toggle always --no-defer --scale 0.05
+//   hcs_sim --trace trial.trace --heuristic MM       # replay a saved trace
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "exp/experiment.h"
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace hcs;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --heuristic NAME   RR|MET|MCT|KPB|MM|MSD|MMU|MaxMin|Sufferage|\n"
+      "                     FCFS-RR|EDF|SJF            (default MM)\n"
+      "  --rate N           paper-equivalent tasks (default 20000)\n"
+      "  --pattern P        spiky|constant             (default spiky)\n"
+      "  --homogeneous      use the homogeneous cluster\n"
+      "  --trials N         trials (default 8)\n"
+      "  --scale X          workload scale factor (default 0.1)\n"
+      "  --seed N           base seed (default 2019)\n"
+      "  --no-pruning       disable the pruning mechanism entirely\n"
+      "  --threshold X      pruning threshold beta in [0,1] (default 0.5)\n"
+      "  --toggle T         reactive|always|never      (default reactive)\n"
+      "  --no-defer         disable task deferring\n"
+      "  --fairness C       fairness factor (default 0.05)\n"
+      "  --capacity N       machine queue capacity (default 4)\n"
+      "  --kpb X            KPB's K fraction (default 0.375)\n"
+      "  --abort-overdue    abort running tasks at their deadline\n"
+      "  --trace FILE       replay a saved workload trace (single trial)\n"
+      "  --save-trace FILE  save trial 0's workload to FILE and exit\n"
+      "  --csv              machine-readable output\n",
+      argv0);
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "hcs_sim: %s\n", message.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::PaperScenario::Options options = exp::PaperScenario::optionsFromEnv();
+  std::string heuristic = "MM";
+  std::size_t rate = 20000;
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::Spiky;
+  bool homogeneous = false;
+  bool csv = false;
+  std::uint64_t seed = 2019;
+  std::string tracePath;
+  std::string saveTracePath;
+  core::SimulationConfig sim;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die("missing argument after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--heuristic") {
+      heuristic = next();
+    } else if (arg == "--rate") {
+      rate = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--pattern") {
+      const std::string p = next();
+      if (p == "spiky") {
+        pattern = workload::ArrivalPattern::Spiky;
+      } else if (p == "constant") {
+        pattern = workload::ArrivalPattern::Constant;
+      } else {
+        die("unknown pattern " + p);
+      }
+    } else if (arg == "--homogeneous") {
+      homogeneous = true;
+    } else if (arg == "--trials") {
+      options.trials = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--scale") {
+      options.scale = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-pruning") {
+      sim.pruning = pruning::PruningConfig::disabled();
+    } else if (arg == "--threshold") {
+      sim.pruning.threshold = std::strtod(next(), nullptr);
+    } else if (arg == "--toggle") {
+      const std::string t = next();
+      if (t == "reactive") {
+        sim.pruning.toggle = pruning::ToggleMode::Reactive;
+      } else if (t == "always") {
+        sim.pruning.toggle = pruning::ToggleMode::AlwaysDropping;
+      } else if (t == "never") {
+        sim.pruning.toggle = pruning::ToggleMode::NoDropping;
+      } else {
+        die("unknown toggle mode " + t);
+      }
+    } else if (arg == "--no-defer") {
+      sim.pruning.deferEnabled = false;
+    } else if (arg == "--fairness") {
+      sim.pruning.fairnessFactor = std::strtod(next(), nullptr);
+    } else if (arg == "--capacity") {
+      sim.machineQueueCapacity = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--kpb") {
+      sim.heuristicOptions.kpbPercent = std::strtod(next(), nullptr);
+    } else if (arg == "--abort-overdue") {
+      sim.abortRunningAtDeadline = true;
+    } else if (arg == "--trace") {
+      tracePath = next();
+    } else if (arg == "--save-trace") {
+      saveTracePath = next();
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      die("unknown argument " + arg + " (try --help)");
+    }
+  }
+
+  try {
+    const exp::PaperScenario scenario(options);
+    const workload::BoundExecutionModel& cluster =
+        homogeneous ? scenario.homo() : scenario.hetero();
+    sim.heuristic = heuristic;
+    sim.warmupMargin = scenario.warmupMargin(rate);
+
+    if (!saveTracePath.empty()) {
+      const workload::Workload wl = workload::Workload::generate(
+          *scenario.pet(), scenario.arrivalSpec(rate, pattern), {}, seed);
+      workload::saveWorkloadFile(wl, saveTracePath);
+      std::printf("saved %zu tasks to %s\n", wl.size(),
+                  saveTracePath.c_str());
+      return 0;
+    }
+
+    if (!tracePath.empty()) {
+      const workload::Workload wl = workload::loadWorkloadFile(tracePath);
+      const core::TrialResult result =
+          core::Simulation(cluster, wl, sim).run();
+      std::printf("trace: %zu tasks, robustness %.2f%%\n", wl.size(),
+                  result.robustnessPercent);
+      std::printf(
+          "on-time %zu, late %zu, reactive drops %zu, proactive drops %zu, "
+          "deferrals %zu\n",
+          result.metrics.completedOnTime(), result.metrics.completedLate(),
+          result.metrics.droppedReactive(),
+          result.metrics.droppedProactive(), result.metrics.deferrals());
+      return 0;
+    }
+
+    exp::ExperimentSpec spec = scenario.experimentSpec(rate, pattern);
+    spec.sim = sim;
+    spec.baseSeed = seed;
+    const exp::ExperimentResult result = exp::runExperiment(cluster, spec);
+
+    exp::Table table({"metric", "mean ±95% CI"});
+    table.addRow({"robustness (% on time)", exp::formatCi(result.robustnessCi)});
+    table.addRow({"completed late %",
+                  exp::formatCi(stats::meanConfidenceInterval(
+                      result.completedLatePct))});
+    table.addRow({"dropped reactive %",
+                  exp::formatCi(stats::meanConfidenceInterval(
+                      result.droppedReactivePct))});
+    table.addRow({"dropped proactive %",
+                  exp::formatCi(stats::meanConfidenceInterval(
+                      result.droppedProactivePct))});
+    table.addRow({"deferrals per task",
+                  exp::formatCi(stats::meanConfidenceInterval(
+                      result.deferralsPerTask), 2)});
+    table.addRow({"mean machine utilization",
+                  exp::formatCi(stats::meanConfidenceInterval(
+                      result.meanUtilization), 2)});
+    if (csv) {
+      table.printCsv(std::cout);
+    } else {
+      std::printf("heuristic=%s rate=%zu pattern=%s cluster=%s trials=%zu "
+                  "scale=%g\n\n",
+                  heuristic.c_str(), rate,
+                  pattern == workload::ArrivalPattern::Spiky ? "spiky"
+                                                             : "constant",
+                  homogeneous ? "homogeneous" : "heterogeneous",
+                  options.trials, options.scale);
+      table.print(std::cout);
+    }
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  return 0;
+}
