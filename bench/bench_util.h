@@ -5,8 +5,10 @@
 //   --full         paper scale (15k/20k/25k tasks, 30 trials)
 //   --scale X      workload scale factor (default 0.1)
 //   --trials N     trials per configuration (default 8)
+//   --jobs N       trial-execution threads (1 = serial, 0 = all cores)
 //   --csv          machine-readable output instead of the ASCII table
-// Environment variables HCS_FULL / HCS_SCALE / HCS_TRIALS act as defaults.
+// Environment variables HCS_FULL / HCS_SCALE / HCS_TRIALS / HCS_JOBS act as
+// defaults.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,9 +39,12 @@ struct BenchArgs {
         args.scenario.scale = std::strtod(argv[++i], nullptr);
       } else if (arg == "--trials" && i + 1 < argc) {
         args.scenario.trials = std::strtoul(argv[++i], nullptr, 10);
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        args.scenario.jobs = std::strtoul(argv[++i], nullptr, 10);
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--full] [--scale X] [--trials N] [--csv]\n", argv[0]);
+            "usage: %s [--full] [--scale X] [--trials N] [--jobs N] [--csv]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

@@ -2,12 +2,23 @@
 // mapping heuristic with and without the pruning mechanism attached.
 // Supports the paper's §V-A claim that pruning's overhead is modest and
 // sits entirely on the resource-allocation node.
+//
+// After the google-benchmark suites, main() times one 8-trial MM experiment
+// three ways — serial/uncached (the recompute-per-candidate reference),
+// serial/cached (incremental PCT reuse), and parallel/cached — and writes
+// the comparison to BENCH_pct_cache.json so the speedup is tracked across
+// PRs.  HCS_SCALE / HCS_TRIALS / HCS_JOBS override the defaults.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/simulation.h"
+#include "exp/experiment.h"
+#include "exp/parallel.h"
 #include "exp/scenario.h"
 
 namespace {
@@ -85,6 +96,88 @@ BENCHMARK(BM_Trial_MCT_Pruned);
 BENCHMARK(BM_Trial_KPB);
 BENCHMARK(BM_Trial_RR);
 
+// --- PCT-cache / parallel-trials comparison ----------------------------------
+
+double timeExperimentMs(const exp::PaperScenario& scenario,
+                        const exp::ExperimentSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  const exp::ExperimentResult result =
+      exp::runExperiment(scenario.hetero(), spec);
+  benchmark::DoNotOptimize(result.robustnessMean());
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void runPctCacheComparison() {
+  exp::PaperScenario::Options options = exp::PaperScenario::optionsFromEnv();
+  if (std::getenv("HCS_TRIALS") == nullptr) options.trials = 8;
+  // Parallel leg defaults to all cores unless HCS_JOBS pins it explicitly.
+  const std::size_t jobs =
+      std::getenv("HCS_JOBS") != nullptr ? options.jobs : 0;
+  options.jobs = 1;
+  const exp::PaperScenario scenario(options);
+
+  exp::ExperimentSpec spec = scenario.experimentSpec(
+      exp::PaperScenario::kRate20k, workload::ArrivalPattern::Spiky);
+  spec.sim.heuristic = "MM";
+
+  spec.sim.pctCacheEnabled = false;
+  spec.jobs = 1;
+  const double uncachedSerialMs = timeExperimentMs(scenario, spec);
+
+  spec.sim.pctCacheEnabled = true;
+  const double cachedSerialMs = timeExperimentMs(scenario, spec);
+
+  spec.jobs = jobs;
+  const double cachedParallelMs = timeExperimentMs(scenario, spec);
+
+  const std::size_t resolvedJobs = exp::resolveJobs(jobs);
+  const double cacheSpeedup = cachedSerialMs > 0.0
+                                  ? uncachedSerialMs / cachedSerialMs
+                                  : 0.0;
+  const double combinedSpeedup = cachedParallelMs > 0.0
+                                     ? uncachedSerialMs / cachedParallelMs
+                                     : 0.0;
+
+  std::printf(
+      "\nPCT cache comparison (MM, %zu trials, scale %.3g):\n"
+      "  uncached serial   %8.1f ms\n"
+      "  cached   serial   %8.1f ms   (%.2fx)\n"
+      "  cached   jobs=%-3zu %8.1f ms   (%.2fx combined)\n",
+      options.trials, options.scale, uncachedSerialMs, cachedSerialMs,
+      cacheSpeedup, resolvedJobs, cachedParallelMs, combinedSpeedup);
+
+  if (FILE* out = std::fopen("BENCH_pct_cache.json", "w")) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"pct_cache\",\n"
+        "  \"heuristic\": \"MM\",\n"
+        "  \"trials\": %zu,\n"
+        "  \"scale\": %g,\n"
+        "  \"jobs\": %zu,\n"
+        "  \"uncached_serial_ms\": %.3f,\n"
+        "  \"cached_serial_ms\": %.3f,\n"
+        "  \"cached_parallel_ms\": %.3f,\n"
+        "  \"cache_speedup\": %.3f,\n"
+        "  \"combined_speedup\": %.3f\n"
+        "}\n",
+        options.trials, options.scale, resolvedJobs, uncachedSerialMs,
+        cachedSerialMs, cachedParallelMs, cacheSpeedup, combinedSpeedup);
+    std::fclose(out);
+    std::printf("wrote BENCH_pct_cache.json\n");
+  } else {
+    std::fprintf(stderr, "micro_scheduler: could not write BENCH_pct_cache.json\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runPctCacheComparison();
+  return 0;
+}

@@ -51,6 +51,12 @@ struct SimulationConfig {
   /// lets started work finish (it just counts as late).
   bool abortRunningAtDeadline = false;
 
+  /// Memoize PCT convolutions across mapping events, keyed on each
+  /// machine's queue epoch (see heuristics/pct_cache.h).  Results are
+  /// bit-identical either way; the knob exists so benches can measure the
+  /// saving and tests can compare both paths.
+  bool pctCacheEnabled = true;
+
   /// Seed for sampling actual execution times.
   std::uint64_t executionSeed = 0x5eed;
 

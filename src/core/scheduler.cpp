@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -47,6 +48,9 @@ Scheduler::Scheduler(const SimulationConfig& config, int numTaskTypes)
       (mode_ == AllocationMode::Immediate && immediate_ == nullptr)) {
     throw std::invalid_argument("Scheduler: heuristic factory returned null");
   }
+  if (config.pctCacheEnabled) {
+    pctCache_ = std::make_unique<heuristics::PctCache>();
+  }
 }
 
 heuristics::MappingContext Scheduler::makeContext(World& world,
@@ -55,7 +59,7 @@ heuristics::MappingContext Scheduler::makeContext(World& world,
                                    ? heuristics::MappingContext::kUnbounded
                                    : config_.machineQueueCapacity;
   return heuristics::MappingContext(now, world.pool, world.machines,
-                                    world.model, capacity);
+                                    world.model, capacity, pctCache_.get());
 }
 
 void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
@@ -190,18 +194,114 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
     // Walk the queue front to back, accumulating the PCT chain (Eq. 1).
     // A dropped task's PET is excluded from the accumulator, so tasks
     // behind it immediately see the improved (less uncertain) chain.
-    prob::DiscretePmf acc = m.availabilityPct(now, world.pool, world.model);
+    //
+    if (pctCache_ == nullptr) {
+      // Reference path (pctCacheEnabled off): recompute the full chain per
+      // candidate, exactly as the paper's Fig. 5 pseudo-code reads.
+      prob::DiscretePmf referenceAcc =
+          m.availabilityPct(now, world.pool, world.model);
+      std::vector<sim::TaskId> referenceDrop;
+      for (sim::TaskId id : m.queue()) {
+        const sim::Task& t = world.pool[id];
+        const prob::DiscretePmf pct =
+            referenceAcc.convolve(world.model.pet(t.type, m.id()));
+        const double chance = pct.successProbability(t.deadline);
+        if (pruner_.shouldDrop(t.type, chance, t.value)) {
+          referenceDrop.push_back(id);
+        } else {
+          referenceAcc = pct;
+        }
+      }
+      for (sim::TaskId id : referenceDrop) {
+        m.removeQueued(id, now, world.pool, world.model);
+        dropTask(world, id, now, sim::TaskStatus::DroppedProactive);
+      }
+      continue;
+    }
+    // Incremental path: full convolutions are the expensive part, and some
+    // drop decisions don't need them — the chain's support bounds (exact
+    // integer sums of the factors' first/last bins) can already prove the
+    // chance is 0 or within 1e-9 of 1, which decides shouldDrop
+    // identically.  When a chance must actually be computed it comes from
+    // the PCT cache's prefix chain (valid while no task has been dropped:
+    // every earlier queued task was kept, which is exactly the prefix
+    // invariant) and, after the first drop, from a live accumulator seeded
+    // with the last kept prefix.
+    const double w = m.binWidth();
+    auto [accMinB, accMaxB] = m.availabilityBounds(now, world.pool,
+                                                   world.model);
+    // Prefix PCTs of the unmodified queue; built on first need.
+    std::optional<heuristics::PctCache::QueueChainView> chain;
+    std::optional<prob::DiscretePmf> acc;  // kept chain once a drop diverges
+    // Kept PETs not yet folded into acc (and, pre-drop, the kept prefix in
+    // case acc must be seeded without a materialized chain).
+    std::vector<const prob::DiscretePmf*> pending;
+    bool droppedAny = false;
     std::vector<sim::TaskId> toDrop;
+    std::size_t idx = 0;
     for (sim::TaskId id : m.queue()) {
       const sim::Task& t = world.pool[id];
-      const prob::DiscretePmf pct =
-          acc.convolve(world.model.pet(t.type, m.id()));
-      const double chance = pct.successProbability(t.deadline);
-      if (pruner_.shouldDrop(t.type, chance, t.value)) {
-        toDrop.push_back(id);
+      const prob::DiscretePmf& pet = world.model.pet(t.type, m.id());
+      const std::int64_t candMin = accMinB + pet.firstBin();
+      const std::int64_t candMax = accMaxB + pet.lastBin();
+      // Same cutoff arithmetic as DiscretePmf::cdf.
+      const double cutoff = t.deadline + w * 1e-6;
+      bool drop;
+      bool keptViaAcc = false;
+      if (static_cast<double>(candMin) * w >= cutoff) {
+        // The entire support misses the deadline: the chance is exactly 0.
+        drop = pruner_.shouldDrop(t.type, 0.0, t.value);
+      } else if (static_cast<double>(candMax) * w < cutoff &&
+                 [&] {
+                   const double bar = pruner_.pruningBar(t.type, t.value);
+                   return bar < 1.0 - 1e-6 || bar >= 1.0;
+                 }()) {
+        // The entire support makes the deadline: the chance is within the
+        // PMF mass tolerance of 1, and the bar is far enough from 1 that
+        // the comparison cannot flip.
+        drop = pruner_.shouldDrop(t.type, 1.0, t.value);
+      } else if (!droppedAny) {
+        if (!chain.has_value()) {
+          chain.emplace(
+              pctCache_->queueChain(m, now, world.pool, world.model));
+        }
+        const double chance =
+            chain->rel[idx].cdfShiftedBy(chain->anchor, t.deadline);
+        drop = pruner_.shouldDrop(t.type, chance, t.value);
       } else {
-        acc = pct;
+        for (const prob::DiscretePmf* p : pending) acc = acc->convolve(*p);
+        pending.clear();
+        prob::DiscretePmf pct = acc->convolve(pet);
+        const double chance = pct.successProbability(t.deadline);
+        drop = pruner_.shouldDrop(t.type, chance, t.value);
+        if (!drop) {
+          acc = std::move(pct);
+          keptViaAcc = true;
+        }
       }
+      if (drop) {
+        toDrop.push_back(id);
+        if (!droppedAny) {
+          // Seed the live accumulator with the PCT of the last kept prefix.
+          droppedAny = true;
+          if (chain.has_value() && idx > 0) {
+            acc = chain->rel[idx - 1].shifted(chain->anchor);
+          } else {
+            acc = m.availabilityPct(now, world.pool, world.model);
+            for (const prob::DiscretePmf* p : pending) {
+              acc = acc->convolve(*p);
+            }
+          }
+          pending.clear();
+        }
+      } else {
+        accMinB += pet.firstBin();
+        accMaxB += pet.lastBin();
+        if (!keptViaAcc && (droppedAny || !chain.has_value())) {
+          pending.push_back(&pet);
+        }
+      }
+      ++idx;
     }
     for (sim::TaskId id : toDrop) {
       m.removeQueued(id, now, world.pool, world.model);
@@ -232,7 +332,11 @@ void Scheduler::runBatchMapping(World& world, sim::Time now) {
       const sim::Task& t = world.pool[a.task];
       // Step 10: chance of success on the *live* machine state (earlier
       // dispatches in this event are already reflected in the tail PCT).
-      const double chance = ctx.successChance(a.task, a.machine);
+      // When the configuration can never defer, the chance is dead weight —
+      // skip its convolution outright.
+      const double chance = pruner_.deferUsesChance()
+                                ? ctx.successChance(a.task, a.machine)
+                                : 1.0;
       if (pruner_.shouldDefer(t.type, chance, t.value)) {
         deferredThisEvent.insert(a.task);
         ++world.pool[a.task].deferrals;
@@ -252,7 +356,17 @@ void Scheduler::dispatch(World& world, sim::TaskId task, sim::MachineId machine,
                          sim::Time now) {
   sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
   emit(now, sim::TraceEventKind::Dispatched, task, machine);
-  const bool started = m.dispatch(task, now, world.pool, world.model);
+  // The cache either just computed tailPct ⊛ PET for the deferring check or
+  // computes it now; either way the machine's Eq. 1 update reuses it
+  // instead of convolving again.
+  std::optional<prob::DiscretePmf> newTail;
+  if (pctCache_ != nullptr && m.tracksTail()) {
+    newTail = pctCache_->appendPct(m, now, world.pool, world.model,
+                                   world.pool[task].type);
+  }
+  const bool started =
+      m.dispatch(task, now, world.pool, world.model,
+                 newTail.has_value() ? &*newTail : nullptr);
   if (started) {
     emit(now, sim::TraceEventKind::Started, task, machine);
     scheduleCompletion(world, machine, task, now);

@@ -8,6 +8,7 @@
 
 #include "core/config.h"
 #include "heuristics/heuristic.h"
+#include "heuristics/pct_cache.h"
 #include "prob/rng.h"
 #include "pruning/accounting.h"
 #include "pruning/pruner.h"
@@ -38,6 +39,8 @@ class Scheduler {
   AllocationMode mode() const { return mode_; }
   const pruning::Pruner& pruner() const { return pruner_; }
   const pruning::Accounting& accounting() const { return accounting_; }
+  /// Null when the config disabled PCT memoization.
+  const heuristics::PctCache* pctCache() const { return pctCache_.get(); }
   std::size_t mappingEvents() const { return mappingEvents_; }
   std::size_t batchQueueLength() const { return batchQueue_.size(); }
 
@@ -79,6 +82,7 @@ class Scheduler {
   AllocationMode mode_;
   std::unique_ptr<heuristics::ImmediateHeuristic> immediate_;
   std::unique_ptr<heuristics::BatchHeuristic> batch_;
+  std::unique_ptr<heuristics::PctCache> pctCache_;
   pruning::Accounting accounting_;
   pruning::Pruner pruner_;
   std::vector<sim::TaskId> batchQueue_;

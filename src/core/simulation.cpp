@@ -23,7 +23,8 @@ TrialResult Simulation::run() {
   std::vector<sim::Machine> machines;
   machines.reserve(static_cast<std::size_t>(model_.numMachines()));
   for (int j = 0; j < model_.numMachines(); ++j) {
-    machines.emplace_back(j, binWidth, /*trackTail=*/batchMode);
+    machines.emplace_back(j, binWidth, /*trackTail=*/batchMode,
+                          /*lazyTailRebuild=*/config_.pctCacheEnabled);
   }
   sim::EventQueue events;
   sim::Metrics metrics(model_.numTaskTypes());

@@ -1,27 +1,46 @@
 #include "exp/experiment.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "exp/parallel.h"
 
 namespace hcs::exp {
+
+TrialRunner::TrialRunner(const workload::BoundExecutionModel& model,
+                         const ExperimentSpec& spec)
+    : model_(&model), spec_(&spec) {}
+
+core::TrialResult TrialRunner::runTrial(std::size_t trial) const {
+  const std::uint64_t workloadSeed = spec_->baseSeed + trial;
+  const workload::Workload wl = workload::Workload::generate(
+      model_->matrix(), spec_->arrival, spec_->deadline, workloadSeed);
+
+  core::SimulationConfig simConfig = spec_->sim;
+  // Independent execution randomness per trial, decoupled from the
+  // workload stream.
+  simConfig.executionSeed = workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
+
+  return core::Simulation(*model_, wl, simConfig).run();
+}
 
 ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
                                const ExperimentSpec& spec) {
   if (spec.trials == 0) {
     throw std::invalid_argument("runExperiment: need at least one trial");
   }
+  const TrialRunner runner(model, spec);
+
+  // Execute trials on the pool (each owns all of its mutable state)…
+  std::vector<core::TrialResult> outcomes(spec.trials);
+  ParallelExecutor(spec.jobs).run(
+      spec.trials,
+      [&](std::size_t trial) { outcomes[trial] = runner.runTrial(trial); });
+
+  // …then fold the per-trial slots in trial order, so the aggregates are
+  // bit-identical to a serial run no matter how many jobs executed.
   ExperimentResult result;
-  for (std::size_t trial = 0; trial < spec.trials; ++trial) {
-    const std::uint64_t workloadSeed = spec.baseSeed + trial;
-    const workload::Workload wl = workload::Workload::generate(
-        model.matrix(), spec.arrival, spec.deadline, workloadSeed);
-
-    core::SimulationConfig simConfig = spec.sim;
-    // Independent execution randomness per trial, decoupled from the
-    // workload stream.
-    simConfig.executionSeed = workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
-
-    core::TrialResult tr = core::Simulation(model, wl, simConfig).run();
-
+  for (const core::TrialResult& tr : outcomes) {
     result.robustness.add(tr.robustnessPercent);
     result.perTrialRobustness.push_back(tr.robustnessPercent);
 

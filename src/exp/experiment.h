@@ -25,6 +25,11 @@ struct ExperimentSpec {
   /// seed), so different specs with the same baseSeed see the *same*
   /// workload trials — the paper's paired-comparison setup.
   std::uint64_t baseSeed = 2019;
+  /// Worker threads for trial execution: 1 = serial (default), 0 = one per
+  /// hardware thread, N = exactly N.  Trials are independent and results
+  /// are merged in trial order, so every value produces bit-identical
+  /// aggregates.
+  std::size_t jobs = 1;
 };
 
 struct ExperimentResult {
@@ -41,9 +46,31 @@ struct ExperimentResult {
   double robustnessMean() const { return robustnessCi.mean; }
 };
 
+/// Executes the independent trials of one experiment.  Each trial
+/// generates its own workload (seeded from the spec) and owns every piece
+/// of mutable simulation state, so any number of trials may run
+/// concurrently against the shared immutable model.
+class TrialRunner {
+ public:
+  /// `model` and `spec` must outlive the runner.
+  TrialRunner(const workload::BoundExecutionModel& model,
+              const ExperimentSpec& spec);
+
+  std::size_t trials() const { return spec_->trials; }
+
+  /// Runs trial `trial` (0-based) to completion.  Deterministic in
+  /// (model, spec, trial) — thread-safe by construction.
+  core::TrialResult runTrial(std::size_t trial) const;
+
+ private:
+  const workload::BoundExecutionModel* model_;
+  const ExperimentSpec* spec_;
+};
+
 /// Runs `spec.trials` independent workload trials against the given cluster
-/// model and aggregates the outcomes.  The PET matrix behind `model` is also
-/// used for deadline assignment (Eq. 4 needs avg_i / avg_all).
+/// model — on `spec.jobs` threads — and aggregates the outcomes in trial
+/// order (bit-identical for any job count).  The PET matrix behind `model`
+/// is also used for deadline assignment (Eq. 4 needs avg_i / avg_all).
 ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
                                const ExperimentSpec& spec);
 

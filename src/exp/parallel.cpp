@@ -1,0 +1,65 @@
+#include "exp/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcs::exp {
+
+std::size_t resolveJobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ParallelExecutor::run(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min(resolveJobs(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex errorMutex;
+  std::size_t firstErrorIndex = n;
+  std::exception_ptr firstError;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (i < firstErrorIndex) {
+          firstErrorIndex = i;
+          firstError = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  try {
+    for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+  } catch (...) {
+    // A thread failed to spawn (resource limits): drain the queue so the
+    // already-running workers exit, join them, and surface the error
+    // instead of letting ~thread() call std::terminate.
+    next.store(n, std::memory_order_relaxed);
+    for (std::thread& t : threads) t.join();
+    throw;
+  }
+  worker();
+  for (std::thread& t : threads) t.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace hcs::exp

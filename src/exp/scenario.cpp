@@ -84,6 +84,9 @@ PaperScenario::Options PaperScenario::optionsFromEnv() {
   if (const char* trials = std::getenv("HCS_TRIALS"); trials != nullptr) {
     options.trials = static_cast<std::size_t>(std::strtoul(trials, nullptr, 10));
   }
+  if (const char* jobs = std::getenv("HCS_JOBS"); jobs != nullptr) {
+    options.jobs = static_cast<std::size_t>(std::strtoul(jobs, nullptr, 10));
+  }
   return options;
 }
 
@@ -115,6 +118,7 @@ ExperimentSpec PaperScenario::experimentSpec(
   ExperimentSpec spec;
   spec.arrival = arrivalSpec(paperRate, pattern);
   spec.trials = options_.trials;
+  spec.jobs = options_.jobs;
   spec.sim.warmupMargin = warmupMargin(paperRate);
   return spec;
 }

@@ -31,6 +31,9 @@ class PaperScenario {
     std::uint64_t petSeed = 2019;
     double scale = 0.1;
     std::size_t trials = 8;
+    /// Trial-execution threads (ExperimentSpec::jobs): 1 = serial,
+    /// 0 = one per hardware thread.
+    std::size_t jobs = 1;
     /// Oversubscription ratio (offered load / cluster capacity) that the
     /// 15k-equivalent workload should hit; higher rates scale from it.
     double targetRhoAt15k = 1.25;
@@ -40,8 +43,9 @@ class PaperScenario {
   explicit PaperScenario(const Options& options);
   PaperScenario() : PaperScenario(Options{}) {}
 
-  /// Reads HCS_SCALE / HCS_TRIALS / HCS_FULL env vars (used by benches so
-  /// `--full` runs are possible without recompiling).
+  /// Reads HCS_SCALE / HCS_TRIALS / HCS_FULL / HCS_JOBS env vars (used by
+  /// benches so `--full` or parallel runs are possible without
+  /// recompiling).
   static Options optionsFromEnv();
 
   const Options& options() const { return options_; }

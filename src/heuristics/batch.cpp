@@ -45,7 +45,7 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::map(
       for (sim::MachineId j = 0; j < m; ++j) {
         if (slots[static_cast<std::size_t>(j)] == 0) continue;
         const double ect = virtualReady[static_cast<std::size_t>(j)] +
-                           ctx.model().expectedExec(type, j);
+                           ctx.expectedExec(type, j);
         if (phase1.machine == sim::kInvalidMachine) {
           phase1.machine = j;
           phase1.ect = ect;
@@ -78,7 +78,7 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::map(
       result.push_back(Assignment{c.task, j});
       slots[static_cast<std::size_t>(j)] -= 1;
       virtualReady[static_cast<std::size_t>(j)] +=
-          ctx.model().expectedExec(ctx.pool()[c.task].type, j);
+          ctx.expectedExec(ctx.pool()[c.task].type, j);
       winners.push_back(c);
     }
     std::sort(winners.begin(), winners.end(),

@@ -9,14 +9,18 @@ namespace hcs::heuristics {
 MappingContext::MappingContext(sim::Time now, const sim::TaskPool& pool,
                                const std::vector<sim::Machine>& machines,
                                const sim::ExecutionModel& model,
-                               std::size_t queueCapacity)
+                               std::size_t queueCapacity, PctCache* pctCache)
     : now_(now),
       pool_(&pool),
       machines_(&machines),
       model_(&model),
       capacity_(queueCapacity),
+      pctCache_(pctCache),
       readyCache_(machines.size(), 0.0),
-      readyCached_(machines.size(), false) {
+      readyCached_(machines.size(), false),
+      execCache_(static_cast<std::size_t>(model.numTaskTypes()) *
+                     machines.size(),
+                 -1.0) {
   if (machines.empty()) {
     throw std::invalid_argument("MappingContext: no machines");
   }
@@ -28,7 +32,21 @@ MappingContext::MappingContext(sim::Time now, const sim::TaskPool& pool,
 sim::Time MappingContext::expectedReady(sim::MachineId id) const {
   const auto idx = static_cast<std::size_t>(id);
   if (!readyCached_[idx]) {
-    readyCache_[idx] = (*machines_)[idx].expectedReady(now_, *pool_, *model_);
+    const sim::Machine& m = (*machines_)[idx];
+    if (pctCache_ != nullptr) {
+      // Same arithmetic as Machine::expectedReady, with the conditional
+      // remaining mean of the running task memoized across events.
+      sim::Time ready = now_;
+      if (m.busy()) {
+        ready += pctCache_->remainingMean(m, now_, *pool_, *model_);
+      }
+      for (sim::TaskId t : m.queue()) {
+        ready += expectedExec((*pool_)[t].type, id);
+      }
+      readyCache_[idx] = ready;
+    } else {
+      readyCache_[idx] = m.expectedReady(now_, *pool_, *model_);
+    }
     readyCached_[idx] = true;
   }
   return readyCache_[idx];
@@ -41,7 +59,7 @@ sim::Time MappingContext::expectedCompletion(sim::TaskId task,
 
 sim::Time MappingContext::expectedCompletionForType(sim::TaskType type,
                                                     sim::MachineId id) const {
-  return expectedReady(id) + model_->expectedExec(type, id);
+  return expectedReady(id) + expectedExec(type, id);
 }
 
 std::size_t MappingContext::freeSlots(sim::MachineId id) const {
@@ -55,6 +73,10 @@ double MappingContext::successChance(sim::TaskId task,
                                      sim::MachineId id) const {
   const sim::Task& t = (*pool_)[task];
   const sim::Machine& m = (*machines_)[static_cast<std::size_t>(id)];
+  if (pctCache_ != nullptr) {
+    return pctCache_->appendChance(m, now_, *pool_, *model_, t.type,
+                                   t.deadline);
+  }
   const prob::DiscretePmf pct =
       m.tailPct(now_, *pool_, *model_).convolve(model_->pet(t.type, id));
   return pct.successProbability(t.deadline);

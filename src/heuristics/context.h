@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "heuristics/pct_cache.h"
 #include "sim/machine.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -24,9 +25,13 @@ class MappingContext {
   static constexpr std::size_t kUnbounded =
       std::numeric_limits<std::size_t>::max();
 
+  /// `pctCache`, when non-null, memoizes successChance() convolutions
+  /// across mapping events (invalidated by the machines' queue epochs); it
+  /// must outlive the context.  Results are identical with or without it.
   MappingContext(sim::Time now, const sim::TaskPool& pool,
                  const std::vector<sim::Machine>& machines,
-                 const sim::ExecutionModel& model, std::size_t queueCapacity);
+                 const sim::ExecutionModel& model, std::size_t queueCapacity,
+                 PctCache* pctCache = nullptr);
 
   sim::Time now() const { return now_; }
   const sim::TaskPool& pool() const { return *pool_; }
@@ -38,6 +43,18 @@ class MappingContext {
 
   /// Expected time machine `id` drains its current work (cached).
   sim::Time expectedReady(sim::MachineId id) const;
+
+  /// model().expectedExec with the virtual call devirtualized through a
+  /// per-context memo — the batch heuristics query the same (type, machine)
+  /// pairs O(batch × machines) times per event.
+  double expectedExec(sim::TaskType type, sim::MachineId id) const {
+    const std::size_t slot = static_cast<std::size_t>(type) *
+                                 static_cast<std::size_t>(numMachines()) +
+                             static_cast<std::size_t>(id);
+    double& value = execCache_[slot];
+    if (value < 0.0) value = model_->expectedExec(type, id);
+    return value;
+  }
 
   /// Expected completion time of `task` if appended to machine `id` now:
   /// expectedReady + E[PET] (the scalar estimate MCT/MM/MSD/MMU use).
@@ -54,14 +71,19 @@ class MappingContext {
   /// uses; heavier than expectedCompletion (one convolution).
   double successChance(sim::TaskId task, sim::MachineId id) const;
 
+  PctCache* pctCache() const { return pctCache_; }
+
  private:
   sim::Time now_;
   const sim::TaskPool* pool_;
   const std::vector<sim::Machine>* machines_;
   const sim::ExecutionModel* model_;
   std::size_t capacity_;
+  PctCache* pctCache_;
   mutable std::vector<sim::Time> readyCache_;
   mutable std::vector<bool> readyCached_;
+  /// -1 = unfilled; execution-time means are always positive.
+  mutable std::vector<double> execCache_;
 };
 
 }  // namespace hcs::heuristics

@@ -27,7 +27,7 @@ std::vector<Assignment> greedyMinCompletion(
     for (sim::MachineId j = 0; j < m; ++j) {
       if (slots[static_cast<std::size_t>(j)] == 0) continue;
       const double ect = virtualReady[static_cast<std::size_t>(j)] +
-                         ctx.model().expectedExec(type, j);
+                         ctx.expectedExec(type, j);
       if (bestMachine == sim::kInvalidMachine || ect < bestEct) {
         bestMachine = j;
         bestEct = ect;
@@ -37,7 +37,7 @@ std::vector<Assignment> greedyMinCompletion(
     result.push_back(Assignment{task, bestMachine});
     slots[static_cast<std::size_t>(bestMachine)] -= 1;
     virtualReady[static_cast<std::size_t>(bestMachine)] +=
-        ctx.model().expectedExec(type, bestMachine);
+        ctx.expectedExec(type, bestMachine);
   }
   return result;
 }
@@ -45,9 +45,9 @@ std::vector<Assignment> greedyMinCompletion(
 /// Cheapest expected execution across machines; on a homogeneous cluster
 /// this is simply the type's execution mean.
 double minExpectedExec(const MappingContext& ctx, sim::TaskType type) {
-  double best = ctx.model().expectedExec(type, 0);
+  double best = ctx.expectedExec(type, 0);
   for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
-    best = std::min(best, ctx.model().expectedExec(type, j));
+    best = std::min(best, ctx.expectedExec(type, j));
   }
   return best;
 }

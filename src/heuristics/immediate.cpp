@@ -19,9 +19,9 @@ sim::MachineId MinimumExpectedExecutionTime::selectMachine(
     const MappingContext& ctx, sim::TaskId task) {
   const sim::TaskType type = ctx.pool()[task].type;
   sim::MachineId best = 0;
-  double bestExec = ctx.model().expectedExec(type, 0);
+  double bestExec = ctx.expectedExec(type, 0);
   for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
-    const double exec = ctx.model().expectedExec(type, j);
+    const double exec = ctx.expectedExec(type, j);
     if (exec < bestExec) {
       bestExec = exec;
       best = j;
@@ -60,8 +60,8 @@ sim::MachineId KPercentBest::selectMachine(const MappingContext& ctx,
   std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(), order.begin() + k, order.end(),
                     [&](sim::MachineId a, sim::MachineId b) {
-                      return ctx.model().expectedExec(type, a) <
-                             ctx.model().expectedExec(type, b);
+                      return ctx.expectedExec(type, a) <
+                             ctx.expectedExec(type, b);
                     });
   sim::MachineId best = order[0];
   double bestCompletion = ctx.expectedCompletion(task, best);

@@ -1,0 +1,186 @@
+#include "heuristics/pct_cache.h"
+
+#include <cmath>
+
+namespace hcs::heuristics {
+
+std::int64_t PctCache::binAt(const sim::Machine& m, sim::Time t) {
+  // Mirrors Machine::binAt.
+  return static_cast<std::int64_t>(std::llround(t / m.binWidth()));
+}
+
+std::int64_t PctCache::elapsedBinOf(const sim::Machine& m, sim::Time now) {
+  if (!m.busy()) return -1;
+  // Mirrors the flooring inside DiscretePmf::conditionalRemaining: two
+  // `now` values in the same floored bin produce the same remaining PMF.
+  return static_cast<std::int64_t>(
+      std::floor((now - m.runningSince()) / m.binWidth() + 1e-9));
+}
+
+prob::DiscretePmf PctCache::relativeAvailability(
+    const sim::Machine& m, sim::Time now, const sim::TaskPool& pool,
+    const sim::ExecutionModel& model) {
+  if (!m.busy()) {
+    return prob::DiscretePmf(0, {1.0}, m.binWidth());
+  }
+  const sim::Task& task = pool[m.runningTask()];
+  return model.pet(task.type, m.id())
+      .conditionalRemaining(now - m.runningSince());
+}
+
+PctCache::MachineEntry& PctCache::entryFor(const sim::Machine& m,
+                                           sim::Time /*now*/) {
+  const auto idx = static_cast<std::size_t>(m.id());
+  if (entries_.size() <= idx) entries_.resize(idx + 1);
+  MachineEntry& entry = entries_[idx];
+  if (!entry.valid || entry.epoch != m.queueEpoch()) {
+    entry = MachineEntry{};
+    entry.valid = true;
+    entry.epoch = m.queueEpoch();
+    entry.tracked = m.tailTracked();
+  }
+  return entry;
+}
+
+const prob::DiscretePmf& PctCache::appendEntry(const sim::Machine& m,
+                                               sim::Time now,
+                                               const sim::TaskPool& pool,
+                                               const sim::ExecutionModel& model,
+                                               sim::TaskType type,
+                                               std::int64_t& anchorOut) {
+  MachineEntry& entry = entryFor(m, now);
+  const prob::DiscretePmf& pet = model.pet(type, m.id());
+
+  if (entry.tracked) {
+    // The Eq. 1 tail is anchored at absolute times and independent of
+    // `now`: memoized convolutions survive until the next queue mutation.
+    anchorOut = 0;
+    if (auto it = entry.appendByType.find(type);
+        it != entry.appendByType.end()) {
+      ++stats_.appendHits;
+      return it->second;
+    }
+    ++stats_.appendMisses;
+    return entry.appendByType
+        .emplace(type, m.tailPct(now, pool, model).convolve(pet))
+        .first->second;
+  }
+
+  // Untracked tail: the chain is conditioned at `now`, so memoize on the
+  // relative grid (valid while the head's elapsed bin holds) and re-anchor
+  // with a shift.  Convolution never reads bin offsets, so the shifted
+  // result is bit-identical to the uncached absolute-grid computation.
+  const std::int64_t elapsedBin = elapsedBinOf(m, now);
+  if (entry.elapsedBin != elapsedBin || !entry.relTail.has_value()) {
+    entry.elapsedBin = elapsedBin;
+    entry.appendByType.clear();
+    prob::DiscretePmf acc = relativeAvailability(m, now, pool, model);
+    for (sim::TaskId id : m.queue()) {
+      acc = acc.convolve(model.pet(pool[id].type, m.id()));
+    }
+    entry.relTail = std::move(acc);
+  }
+  anchorOut = binAt(m, now);
+  if (auto it = entry.appendByType.find(type);
+      it != entry.appendByType.end()) {
+    ++stats_.appendHits;
+    return it->second;
+  }
+  ++stats_.appendMisses;
+  return entry.appendByType.emplace(type, entry.relTail->convolve(pet))
+      .first->second;
+}
+
+prob::DiscretePmf PctCache::appendPct(const sim::Machine& m, sim::Time now,
+                                      const sim::TaskPool& pool,
+                                      const sim::ExecutionModel& model,
+                                      sim::TaskType type) {
+  std::int64_t anchor = 0;
+  const prob::DiscretePmf& rel =
+      appendEntry(m, now, pool, model, type, anchor);
+  return anchor == 0 ? rel : rel.shifted(anchor);
+}
+
+double PctCache::appendChance(const sim::Machine& m, sim::Time now,
+                              const sim::TaskPool& pool,
+                              const sim::ExecutionModel& model,
+                              sim::TaskType type, sim::Time deadline) {
+  std::int64_t anchor = 0;
+  const prob::DiscretePmf& rel =
+      appendEntry(m, now, pool, model, type, anchor);
+  return rel.cdfShiftedBy(anchor, deadline);
+}
+
+PctCache::QueueChainView PctCache::queueChain(const sim::Machine& m,
+                                              sim::Time now,
+                                              const sim::TaskPool& pool,
+                                              const sim::ExecutionModel& model) {
+  MachineEntry& entry = entryFor(m, now);
+  const std::int64_t elapsedBin = elapsedBinOf(m, now);
+  if (!entry.relChain.has_value() || entry.chainElapsedBin != elapsedBin) {
+    ++stats_.chainMisses;
+    entry.chainElapsedBin = elapsedBin;
+    std::vector<prob::DiscretePmf> chain;
+    chain.reserve(m.queueLength());
+    prob::DiscretePmf acc = relativeAvailability(m, now, pool, model);
+    for (sim::TaskId id : m.queue()) {
+      acc = acc.convolve(model.pet(pool[id].type, m.id()));
+      chain.push_back(acc);
+    }
+    entry.relChain = std::move(chain);
+  } else {
+    ++stats_.chainHits;
+  }
+  return QueueChainView{*entry.relChain, binAt(m, now)};
+}
+
+std::vector<prob::DiscretePmf> PctCache::queuePcts(
+    const sim::Machine& m, sim::Time now, const sim::TaskPool& pool,
+    const sim::ExecutionModel& model) {
+  if (m.queueLength() == 0) return {};
+  const QueueChainView view = queueChain(m, now, pool, model);
+  std::vector<prob::DiscretePmf> absolute;
+  absolute.reserve(view.rel.size());
+  for (const prob::DiscretePmf& rel : view.rel) {
+    absolute.push_back(rel.shifted(view.anchor));
+  }
+  return absolute;
+}
+
+double PctCache::remainingMean(const sim::Machine& m, sim::Time now,
+                               const sim::TaskPool& pool,
+                               const sim::ExecutionModel& model) {
+  // An idle machine has no running task and therefore no remaining work.
+  if (!m.busy()) return 0.0;
+  const sim::Task& task = pool[m.runningTask()];
+  const std::int64_t elapsedBin = elapsedBinOf(m, now);
+  // (type, elapsed bin) packed collision-free; the map is per machine.
+  // Bins beyond 2^44 would alias, so such (absurdly long) runs bypass the
+  // memo instead of risking a wrong value.
+  if (elapsedBin < 0 || elapsedBin >= (std::int64_t{1} << 44) ||
+      task.type < 0 || task.type >= (1 << 20)) {
+    return model.pet(task.type, m.id())
+        .conditionalRemainingMean(now - m.runningSince());
+  }
+  const auto idx = static_cast<std::size_t>(m.id());
+  if (remainingMeans_.size() <= idx) remainingMeans_.resize(idx + 1);
+  const std::uint64_t key = (static_cast<std::uint64_t>(task.type) << 44) |
+                            static_cast<std::uint64_t>(elapsedBin);
+  auto& memo = remainingMeans_[idx];
+  if (auto it = memo.find(key); it != memo.end()) {
+    ++stats_.meanHits;
+    return it->second;
+  }
+  ++stats_.meanMisses;
+  const double mean = model.pet(task.type, m.id())
+                          .conditionalRemainingMean(now - m.runningSince());
+  memo.emplace(key, mean);
+  return mean;
+}
+
+void PctCache::clear() {
+  entries_.clear();
+  remainingMeans_.clear();
+}
+
+}  // namespace hcs::heuristics

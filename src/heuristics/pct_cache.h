@@ -1,0 +1,153 @@
+#pragma once
+// Incremental memoization of PCT queries (Eq. 1) across mapping events.
+//
+// Every mapping event the pruner and the deferring check ask the same two
+// questions about machine queues:
+//
+//   1. "What is the PCT of appending a task of type k to machine j now?"
+//      (tailPct ⊛ PET — the deferring check of Fig. 5 step 10), and
+//   2. "What is the PCT of each task already queued on machine j, freshly
+//      conditioned on the head task's elapsed execution?"  (the proactive
+//      dropping walk of Fig. 5 steps 4-6).
+//
+// Both answers only change when the machine's (running, queue) configuration
+// changes — which sim::Machine announces through its queue-epoch counter —
+// or, for the now-conditioned variants, when the head task's elapsed time
+// crosses a grid bin.  PctCache keys the memoized PMFs on exactly
+// (machine, queue-epoch, head-task elapsed bin) and therefore returns
+// bit-identical results to the uncached recomputation: convolution operates
+// on bin *contents* while absolute anchoring only shifts bin *offsets*, so
+// chains cached on a relative grid can be re-anchored to any `now` with a
+// cheap shift.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/pmf.h"
+#include "sim/machine.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace hcs::heuristics {
+
+class PctCache {
+ public:
+  struct Stats {
+    std::uint64_t appendHits = 0;
+    std::uint64_t appendMisses = 0;
+    std::uint64_t chainHits = 0;
+    std::uint64_t chainMisses = 0;
+    std::uint64_t meanHits = 0;
+    std::uint64_t meanMisses = 0;
+
+    std::uint64_t hits() const { return appendHits + chainHits + meanHits; }
+    std::uint64_t misses() const {
+      return appendMisses + chainMisses + meanMisses;
+    }
+  };
+
+  /// PCT of appending a task of `type` to machine `m` at `now`; equals
+  /// m.tailPct(now, pool, model).convolve(model.pet(type, m.id())) exactly.
+  prob::DiscretePmf appendPct(const sim::Machine& m, sim::Time now,
+                              const sim::TaskPool& pool,
+                              const sim::ExecutionModel& model,
+                              sim::TaskType type);
+
+  /// Chance of success (Eq. 2) of that same append:
+  /// appendPct(...).successProbability(deadline), but evaluated on the
+  /// memoized PMF in place — the hot path pays no PMF copy.
+  double appendChance(const sim::Machine& m, sim::Time now,
+                      const sim::TaskPool& pool,
+                      const sim::ExecutionModel& model, sim::TaskType type,
+                      sim::Time deadline);
+
+  /// The proactive-pass chain of machine `m` on the relative grid plus the
+  /// shift that re-anchors it to absolute time: rel[i].shifted(anchor) is
+  /// the PCT of queued task i (all earlier queued tasks kept), conditioned
+  /// on the running task's elapsed execution at `now`.
+  ///
+  /// The reference is valid only until the next call on this cache (machine
+  /// entries live in one growable arena).
+  struct QueueChainView {
+    const std::vector<prob::DiscretePmf>& rel;
+    std::int64_t anchor;
+  };
+  QueueChainView queueChain(const sim::Machine& m, sim::Time now,
+                            const sim::TaskPool& pool,
+                            const sim::ExecutionModel& model);
+
+  /// Absolute-time PCTs of machine `m`'s queued tasks (element i is the PCT
+  /// of queued task i with every earlier queued task kept), conditioned on
+  /// the running task's elapsed execution at `now` — the chain the proactive
+  /// dropping pass walks.  Empty when the queue is empty.
+  std::vector<prob::DiscretePmf> queuePcts(const sim::Machine& m,
+                                           sim::Time now,
+                                           const sim::TaskPool& pool,
+                                           const sim::ExecutionModel& model);
+
+  /// Memoized pet(running task).conditionalRemainingMean(now − runStart):
+  /// the expensive term of a busy machine's expected-ready estimate.  Keyed
+  /// on (task type, machine, elapsed bin) — exact because the conditional
+  /// remaining PMF only depends on the floored elapsed bin.
+  double remainingMean(const sim::Machine& m, sim::Time now,
+                       const sim::TaskPool& pool,
+                       const sim::ExecutionModel& model);
+
+  const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = Stats{}; }
+  void clear();
+
+ private:
+  struct MachineEntry {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    bool tracked = false;
+    /// Head-task elapsed-execution bin (floored, as conditionalRemaining
+    /// floors; -1 when the machine is not busy) at which the untracked
+    /// append entries / the proactive chain were computed.  The tracked
+    /// Eq. 1 tail ignores it.  -2 = not yet computed.
+    std::int64_t elapsedBin = -2;
+    std::int64_t chainElapsedBin = -2;
+
+    /// Memoized tailPct ⊛ PET per task type.  On an absolute grid when the
+    /// machine's Eq. 1 tail is tracked (the tail itself is absolute and
+    /// independent of `now`); otherwise on a grid relative to `now`'s bin.
+    std::unordered_map<sim::TaskType, prob::DiscretePmf> appendByType;
+
+    /// Memoized untracked tail (relative grid), feeding appendByType misses.
+    std::optional<prob::DiscretePmf> relTail;
+
+    /// Memoized proactive-pass chain prefixes on a grid relative to `now`'s
+    /// bin: relChain[i] = remaining(elapsed) ⊛ PET(q_0) ⊛ … ⊛ PET(q_i).
+    std::optional<std::vector<prob::DiscretePmf>> relChain;
+  };
+
+  MachineEntry& entryFor(const sim::Machine& m, sim::Time now);
+  static std::int64_t binAt(const sim::Machine& m, sim::Time t);
+  static std::int64_t elapsedBinOf(const sim::Machine& m, sim::Time now);
+
+  /// Locates (computing on miss) the memoized append PMF for `type`;
+  /// `anchorOut` receives the shift to absolute time (0 when the entry is
+  /// already absolute, i.e. the machine's Eq. 1 tail is tracked).
+  const prob::DiscretePmf& appendEntry(const sim::Machine& m, sim::Time now,
+                                       const sim::TaskPool& pool,
+                                       const sim::ExecutionModel& model,
+                                       sim::TaskType type,
+                                       std::int64_t& anchorOut);
+
+  /// Availability PCT on the relative grid (absolute = shifted by
+  /// binAt(now)); mirrors Machine::availabilityPct exactly.
+  static prob::DiscretePmf relativeAvailability(const sim::Machine& m,
+                                                sim::Time now,
+                                                const sim::TaskPool& pool,
+                                                const sim::ExecutionModel& model);
+
+  std::vector<MachineEntry> entries_;
+  /// Per machine: (type, elapsed bin) → conditional remaining mean.
+  std::vector<std::unordered_map<std::uint64_t, double>> remainingMeans_;
+  Stats stats_;
+};
+
+}  // namespace hcs::heuristics

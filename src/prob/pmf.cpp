@@ -26,6 +26,12 @@ DiscretePmf::DiscretePmf(std::int64_t firstBin, std::vector<double> probs,
   trimAndNormalize();
 }
 
+DiscretePmf::DiscretePmf(Internal, std::int64_t firstBin,
+                         std::vector<double> probs, double binWidth)
+    : first_(firstBin), probs_(std::move(probs)), width_(binWidth) {
+  trimAndNormalize();
+}
+
 void DiscretePmf::trimAndNormalize() {
   auto isPositive = [](double p) { return p > 0.0; };
   auto head = std::find_if(probs_.begin(), probs_.end(), isPositive);
@@ -73,7 +79,7 @@ DiscretePmf DiscretePmf::fromSamples(std::span<const double> samples,
   std::vector<double> probs(static_cast<std::size_t>(hi - lo + 1), 0.0);
   const double w = 1.0 / static_cast<double>(samples.size());
   for (std::int64_t b : bins) probs[static_cast<std::size_t>(b - lo)] += w;
-  return DiscretePmf(lo, std::move(probs), binWidth);
+  return DiscretePmf(Internal{}, lo, std::move(probs), binWidth);
 }
 
 double DiscretePmf::mean() const {
@@ -94,13 +100,18 @@ double DiscretePmf::variance() const {
 
 double DiscretePmf::stddev() const { return std::sqrt(variance()); }
 
-double DiscretePmf::cdf(double t) const {
+double DiscretePmf::cdf(double t) const { return cdfShiftedBy(0, t); }
+
+double DiscretePmf::cdfShiftedBy(std::int64_t bins, double t) const {
   // Tiny tolerance so a deadline exactly on a grid point includes that bin
   // despite floating-point drift.
   const double cutoff = t + width_ * 1e-6;
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {
-    if (timeAt(i) >= cutoff) break;
+    const double timeAtBin =
+        static_cast<double>(first_ + bins + static_cast<std::int64_t>(i)) *
+        width_;
+    if (timeAtBin >= cutoff) break;
     acc += probs_[i];
   }
   return std::min(acc, 1.0);
@@ -126,14 +137,29 @@ DiscretePmf DiscretePmf::convolve(const DiscretePmf& other,
   const std::size_t fullSize = probs_.size() + other.probs_.size() - 1;
   const std::size_t outSize = std::min(fullSize, std::max<std::size_t>(maxBins, 1));
   std::vector<double> out(outSize, 0.0);
-  for (std::size_t i = 0; i < probs_.size(); ++i) {
-    if (probs_[i] == 0.0) continue;
-    for (std::size_t j = 0; j < other.probs_.size(); ++j) {
-      const std::size_t k = std::min(i + j, outSize - 1);
-      out[k] += probs_[i] * other.probs_[j];
+  if (outSize == fullSize) {
+    // No capping: k = i + j always lands in range.  Keeping the inner loop
+    // free of the clamp lets it vectorize; the accumulation order is
+    // unchanged, so results are bit-identical to the clamped loop.
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+      const double p = probs_[i];
+      if (p == 0.0) continue;
+      double* dst = out.data() + i;
+      const double* src = other.probs_.data();
+      for (std::size_t j = 0; j < other.probs_.size(); ++j) {
+        dst[j] += p * src[j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+      if (probs_[i] == 0.0) continue;
+      for (std::size_t j = 0; j < other.probs_.size(); ++j) {
+        const std::size_t k = std::min(i + j, outSize - 1);
+        out[k] += probs_[i] * other.probs_[j];
+      }
     }
   }
-  return DiscretePmf(first_ + other.first_, std::move(out), width_);
+  return DiscretePmf(Internal{}, first_ + other.first_, std::move(out), width_);
 }
 
 DiscretePmf DiscretePmf::shifted(std::int64_t bins) const {
@@ -153,7 +179,50 @@ DiscretePmf DiscretePmf::conditionalRemaining(double elapsed) const {
   }
   const std::int64_t skip = std::max<std::int64_t>(keepFrom - first_, 0);
   std::vector<double> kept(probs_.begin() + skip, probs_.end());
-  return DiscretePmf(first_ + skip - elapsedBins, std::move(kept), width_);
+  return DiscretePmf(Internal{}, first_ + skip - elapsedBins, std::move(kept),
+                     width_);
+}
+
+std::pair<std::int64_t, std::int64_t> DiscretePmf::conditionalRemainingBounds(
+    double elapsed) const {
+  const auto elapsedBins =
+      static_cast<std::int64_t>(std::floor(elapsed / width_ + 1e-9));
+  const std::int64_t keepFrom = elapsedBins + 1;
+  if (keepFrom > lastBin()) return {1, 1};
+  const std::int64_t skip = std::max<std::int64_t>(keepFrom - first_, 0);
+  // The kept slice may start with zero bins that trimAndNormalize would
+  // strip; the last kept bin is the original last bin, which is positive by
+  // invariant.
+  std::size_t head = static_cast<std::size_t>(skip);
+  while (probs_[head] <= 0.0) ++head;
+  const std::int64_t lo =
+      first_ + static_cast<std::int64_t>(head) - elapsedBins;
+  return {lo, lastBin() - elapsedBins};
+}
+
+double DiscretePmf::conditionalRemainingMean(double elapsed) const {
+  const auto elapsedBins =
+      static_cast<std::int64_t>(std::floor(elapsed / width_ + 1e-9));
+  const std::int64_t keepFrom = elapsedBins + 1;
+  if (keepFrom > lastBin()) {
+    // conditionalRemaining's "finishes within one bin" point mass at bin 1.
+    return 1.0 * (1.0 * width_);
+  }
+  const std::int64_t skip = std::max<std::int64_t>(keepFrom - first_, 0);
+  const std::int64_t keptFirst = first_ + skip - elapsedBins;
+  // Mirrors trimAndNormalize + mean on the kept slice bit for bit: zero
+  // bins contribute exact 0.0 terms to both the total and the mean, so
+  // skipping the trim changes nothing.
+  double total = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(skip); i < probs_.size(); ++i) {
+    total += probs_[i];
+  }
+  double m = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(skip); i < probs_.size(); ++i) {
+    const auto bin = keptFirst + static_cast<std::int64_t>(i) - skip;
+    m += (probs_[i] / total) * (static_cast<double>(bin) * width_);
+  }
+  return m;
 }
 
 DiscretePmf DiscretePmf::capped(std::size_t maxBins) const {
@@ -165,7 +234,7 @@ DiscretePmf DiscretePmf::capped(std::size_t maxBins) const {
                           probs_.begin() + static_cast<std::ptrdiff_t>(maxBins));
   out.back() += std::accumulate(
       probs_.begin() + static_cast<std::ptrdiff_t>(maxBins), probs_.end(), 0.0);
-  return DiscretePmf(first_, std::move(out), width_);
+  return DiscretePmf(Internal{}, first_, std::move(out), width_);
 }
 
 double DiscretePmf::sample(Rng& rng) const {

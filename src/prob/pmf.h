@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace hcs::prob {
@@ -84,6 +85,11 @@ class DiscretePmf {
   /// deadlines include their own bin).
   double cdf(double t) const;
 
+  /// Exactly shifted(bins).cdf(t), without materializing the shifted PMF:
+  /// lets callers keep one relative-grid PMF and evaluate it at any
+  /// absolute anchor.
+  double cdfShiftedBy(std::int64_t bins, double t) const;
+
   /// Chance of success per Eq. 2: P[completion <= deadline].
   double successProbability(double deadline) const { return cdf(deadline); }
 
@@ -112,6 +118,17 @@ class DiscretePmf {
   /// result is a point mass one bin wide — "should finish any moment now".
   DiscretePmf conditionalRemaining(double elapsed) const;
 
+  /// Exactly conditionalRemaining(elapsed).mean(), without materializing
+  /// the intermediate PMF — the scalar the expected-ready estimate needs
+  /// for a busy machine's running task.
+  double conditionalRemainingMean(double elapsed) const;
+
+  /// Exactly {conditionalRemaining(elapsed).firstBin(), …lastBin()} without
+  /// materializing the PMF: the support bounds that let completion-chance
+  /// comparisons be decided by interval arithmetic instead of convolution.
+  std::pair<std::int64_t, std::int64_t> conditionalRemainingBounds(
+      double elapsed) const;
+
   /// Folds all mass beyond `maxBins` bins into the final retained bin.
   DiscretePmf capped(std::size_t maxBins) const;
 
@@ -123,6 +140,13 @@ class DiscretePmf {
   bool operator==(const DiscretePmf& other) const = default;
 
  private:
+  /// Tag for internally produced probability vectors (convolutions, slices
+  /// of already-validated PMFs): skips the per-element validation pass but
+  /// still trims and normalizes identically.
+  struct Internal {};
+  DiscretePmf(Internal, std::int64_t firstBin, std::vector<double> probs,
+              double binWidth);
+
   void trimAndNormalize();
 
   std::int64_t first_ = 0;

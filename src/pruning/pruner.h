@@ -37,6 +37,13 @@ class Pruner {
   bool shouldDefer(sim::TaskType type, double chance,
                    double value = 1.0) const;
 
+  /// Whether shouldDefer() can ever read its `chance` argument under this
+  /// configuration; when false, callers may skip the (convolution-heavy)
+  /// chance computation entirely.
+  bool deferUsesChance() const {
+    return config_.enabled && config_.deferEnabled;
+  }
+
   /// The pruning bar a task of `type` and `value` must clear.
   double pruningBar(sim::TaskType type, double value) const;
 

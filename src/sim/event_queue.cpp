@@ -1,6 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace hcs::sim {
@@ -28,16 +27,12 @@ std::optional<Event> EventQueue::tryPop() {
   while (!heap_.empty()) {
     Event e = heap_.top();
     heap_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), e.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (cancelled_.erase(e.seq) > 0) continue;
     return e;
   }
   return std::nullopt;
 }
 
-void EventQueue::cancel(std::uint64_t seq) { cancelled_.push_back(seq); }
+void EventQueue::cancel(std::uint64_t seq) { cancelled_.insert(seq); }
 
 }  // namespace hcs::sim

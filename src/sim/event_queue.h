@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
@@ -44,7 +45,12 @@ class EventQueue {
 
   /// Marks a previously scheduled completion as void (e.g. the running task
   /// was aborted); voided events are skipped transparently by pop().
+  /// Cancelling the same seq twice, or a seq that was never pushed, is
+  /// harmless (the entry is dropped the first time it surfaces, if ever).
   void cancel(std::uint64_t seq);
+
+  /// Cancellations recorded but not yet skipped by a pop.
+  std::size_t pendingCancellations() const { return cancelled_.size(); }
 
  private:
   struct Later {
@@ -55,7 +61,9 @@ class EventQueue {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::vector<std::uint64_t> cancelled_;
+  /// O(1) membership test per popped event; deep abort-heavy runs used to
+  /// pay an O(n) scan of a vector here for every pop.
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t nextSeq_ = 0;
 
  public:

@@ -6,8 +6,12 @@
 
 namespace hcs::sim {
 
-Machine::Machine(MachineId id, double binWidth, bool trackTail)
-    : id_(id), binWidth_(binWidth), trackTail_(trackTail) {
+Machine::Machine(MachineId id, double binWidth, bool trackTail,
+                 bool lazyTailRebuild)
+    : id_(id),
+      binWidth_(binWidth),
+      trackTail_(trackTail),
+      lazyTailRebuild_(lazyTailRebuild) {
   if (binWidth <= 0.0) {
     throw std::invalid_argument("Machine: bin width must be positive");
   }
@@ -30,8 +34,19 @@ prob::DiscretePmf Machine::availabilityPct(Time now, const TaskPool& pool,
   return remaining.shifted(binAt(now));
 }
 
+std::pair<std::int64_t, std::int64_t> Machine::availabilityBounds(
+    Time now, const TaskPool& pool, const ExecutionModel& model) const {
+  const std::int64_t anchor = binAt(now);
+  if (!busy()) return {anchor, anchor};
+  const Task& task = pool[running_];
+  const auto [lo, hi] = model.pet(task.type, id_)
+                            .conditionalRemainingBounds(now - runStart_);
+  return {lo + anchor, hi + anchor};
+}
+
 prob::DiscretePmf Machine::tailPct(Time now, const TaskPool& pool,
                                    const ExecutionModel& model) const {
+  if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
   if (tail_.has_value()) return *tail_;
   if (empty()) return availabilityPct(now, pool, model);
   // Tail tracking is off: derive the tail from the full chain on demand.
@@ -68,8 +83,25 @@ Time Machine::expectedReady(Time now, const TaskPool& pool,
   return ready;
 }
 
-void Machine::rebuildTail(Time now, const TaskPool& pool,
+void Machine::tailChanged(Time now, const TaskPool& pool,
                           const ExecutionModel& model) {
+  ++epoch_;
+  if (empty() || !trackTail_) {
+    tail_.reset();
+    tailDirty_ = false;
+    return;
+  }
+  if (lazyTailRebuild_) {
+    tailDirty_ = true;
+    tailDirtyAt_ = now;
+  } else {
+    rebuildTail(now, pool, model);
+  }
+}
+
+void Machine::rebuildTail(Time now, const TaskPool& pool,
+                          const ExecutionModel& model) const {
+  tailDirty_ = false;
   if (empty() || !trackTail_) {
     tail_.reset();
     return;
@@ -90,13 +122,18 @@ void Machine::startTask(TaskId task, Time now, TaskPool& pool) {
 }
 
 bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
-                       const ExecutionModel& model) {
+                       const ExecutionModel& model,
+                       const prob::DiscretePmf* newTail) {
   Task& t = pool[task];
   t.machine = id_;
   t.queuedAt = now;
+  ++epoch_;
   if (trackTail_) {
     // Eq. 1: the new task's PCT extends the current tail by one convolution.
-    tail_ = tailPct(now, pool, model).convolve(model.pet(t.type, id_));
+    tail_ = newTail != nullptr
+                ? *newTail
+                : tailPct(now, pool, model).convolve(model.pet(t.type, id_));
+    tailDirty_ = false;
   }
   if (empty()) {
     startTask(task, now, pool);
@@ -117,7 +154,7 @@ void Machine::finishRunning(Time now, TaskPool& pool,
   // The finished task's actual completion time is now certain, so the whole
   // chain of successors is re-derived from reality (§II: shortening the
   // chain reduces compound uncertainty).
-  rebuildTail(now, pool, model);
+  tailChanged(now, pool, model);
 }
 
 TaskId Machine::startNextIfIdle(Time now, TaskPool& pool,
@@ -126,7 +163,7 @@ TaskId Machine::startNextIfIdle(Time now, TaskPool& pool,
   const TaskId next = queue_.front();
   queue_.pop_front();
   startTask(next, now, pool);
-  rebuildTail(now, pool, model);
+  tailChanged(now, pool, model);
   return next;
 }
 
@@ -143,7 +180,7 @@ void Machine::removeQueued(TaskId task, Time now, TaskPool& pool,
     throw std::logic_error("removeQueued: task not queued on this machine");
   }
   queue_.erase(it);
-  rebuildTail(now, pool, model);
+  tailChanged(now, pool, model);
 }
 
 void Machine::abortRunning(Time now, TaskPool& pool,
@@ -153,7 +190,7 @@ void Machine::abortRunning(Time now, TaskPool& pool,
   }
   busyTime_ += now - runStart_;
   running_ = kInvalidTask;
-  rebuildTail(now, pool, model);
+  tailChanged(now, pool, model);
 }
 
 }  // namespace hcs::sim

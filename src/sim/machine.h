@@ -1,8 +1,10 @@
 #pragma once
 // A machine with a FIFO queue and incremental PCT tracking (Eq. 1).
 
+#include <cstdint>
 #include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "prob/pmf.h"
@@ -26,10 +28,29 @@ class Machine {
   /// (one convolution) so tailPct() is O(1).  Immediate-mode resource
   /// allocation — unbounded queues, no deferring — turns it off and pays
   /// the full chain walk only if a PCT is actually requested.
-  Machine(MachineId id, double binWidth, bool trackTail = true);
+  ///
+  /// `lazyTailRebuild` defers the chain re-derivation after completions /
+  /// removals to the next tailPct() read (bit-identical results, fewer
+  /// rebuilds).  Off = eager rebuild on every mutation, the reference
+  /// behavior the incremental path is validated against.
+  Machine(MachineId id, double binWidth, bool trackTail = true,
+          bool lazyTailRebuild = true);
 
   MachineId id() const { return id_; }
   double binWidth() const { return binWidth_; }
+
+  /// Monotone counter bumped on every state mutation (dispatch, completion,
+  /// queue removal, abort).  Downstream consumers — notably the PCT cache —
+  /// key derived data on it to detect staleness: equal epochs guarantee the
+  /// machine's (running, queue) configuration is unchanged.
+  std::uint64_t queueEpoch() const { return epoch_; }
+
+  /// True when the Eq. 1 recursion state is live, i.e. tailPct() is
+  /// independent of `now` (trackTail on and the machine has work).
+  bool tailTracked() const { return trackTail_ && !empty(); }
+
+  /// Whether this machine maintains the Eq. 1 recursion state at all.
+  bool tracksTail() const { return trackTail_; }
 
   bool busy() const { return running_ != kInvalidTask; }
   TaskId runningTask() const { return running_; }
@@ -50,6 +71,12 @@ class Machine {
   /// to absolute time.  The base case of the Eq. 1 recursion.
   prob::DiscretePmf availabilityPct(Time now, const TaskPool& pool,
                                     const ExecutionModel& model) const;
+
+  /// Exactly {availabilityPct(...).firstBin(), …lastBin()} without
+  /// materializing the PMF: seeds interval bounds on completion times so
+  /// chance-of-success comparisons can often skip the convolutions.
+  std::pair<std::int64_t, std::int64_t> availabilityBounds(
+      Time now, const TaskPool& pool, const ExecutionModel& model) const;
 
   /// PCT of the last task in the machine's system (running + queued), on the
   /// absolute time grid.  For an empty machine this is a point mass at
@@ -75,8 +102,14 @@ class Machine {
   /// preserved even while the machine is transiently idle between a
   /// completion and the end of the mapping event).  Returns true if the
   /// task started running immediately.
+  ///
+  /// `newTail`, when given, must equal tailPct(now) ⊛ PET(task) — callers
+  /// that already computed the appended PCT (e.g. through the PCT cache for
+  /// the deferring check) hand it over instead of paying the Eq. 1
+  /// convolution a second time.  Ignored when tail tracking is off.
   bool dispatch(TaskId task, Time now, TaskPool& pool,
-                const ExecutionModel& model);
+                const ExecutionModel& model,
+                const prob::DiscretePmf* newTail = nullptr);
 
   /// Finishes the running task at `now` WITHOUT promoting a successor — the
   /// scheduler runs the reactive/proactive pruning passes over the queue
@@ -103,17 +136,27 @@ class Machine {
 
  private:
   std::int64_t binAt(Time t) const;
-  void rebuildTail(Time now, const TaskPool& pool, const ExecutionModel& model);
+  void tailChanged(Time now, const TaskPool& pool, const ExecutionModel& model);
+  void rebuildTail(Time now, const TaskPool& pool,
+                   const ExecutionModel& model) const;
   void startTask(TaskId task, Time now, TaskPool& pool);
 
   MachineId id_;
   double binWidth_;
   bool trackTail_;
+  bool lazyTailRebuild_;
   TaskId running_ = kInvalidTask;
   Time runStart_ = 0;
   std::deque<TaskId> queue_;
-  /// Eq. 1 recursion state; empty when the machine has no work.
-  std::optional<prob::DiscretePmf> tail_;
+  /// Eq. 1 recursion state; empty when the machine has no work.  Rebuilt
+  /// lazily: mutations mark it dirty (remembering the mutation time) and the
+  /// next tailPct() read re-derives the chain at that time — so a burst of
+  /// removals/completions between reads pays for one rebuild, not one per
+  /// mutation, with bit-identical results.
+  mutable std::optional<prob::DiscretePmf> tail_;
+  mutable bool tailDirty_ = false;
+  Time tailDirtyAt_ = 0;
+  std::uint64_t epoch_ = 0;
   Time busyTime_ = 0;
 };
 

@@ -30,6 +30,10 @@ class Metrics {
  public:
   explicit Metrics(int numTaskTypes);
 
+  /// Empty placeholder (no task types, all counters zero): lets result
+  /// containers be sized before trials fill the slots.
+  Metrics() = default;
+
   /// Records a terminal state transition for `task`.
   void recordTerminal(const Task& task);
 

@@ -1,0 +1,111 @@
+// Tests for the parallel experiment engine: the executor itself, and the
+// determinism guarantee that any job count produces identical experiment
+// results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/parallel.h"
+#include "exp/scenario.h"
+
+namespace {
+
+using namespace hcs;
+
+// --- ParallelExecutor --------------------------------------------------------
+
+TEST(ParallelExecutorTest, RunsEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{16},
+                           std::size_t{0}}) {
+    std::vector<std::atomic<int>> counts(37);
+    exp::ParallelExecutor(jobs).run(
+        counts.size(), [&](std::size_t i) { ++counts[i]; });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "jobs=" << jobs << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, ZeroTasksIsANoOp) {
+  exp::ParallelExecutor(4).run(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelExecutorTest, ResolveJobs) {
+  EXPECT_EQ(exp::resolveJobs(1), 1u);
+  EXPECT_EQ(exp::resolveJobs(7), 7u);
+  EXPECT_GE(exp::resolveJobs(0), 1u);  // auto: at least one
+}
+
+TEST(ParallelExecutorTest, RethrowsLowestIndexException) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      exp::ParallelExecutor(jobs).run(8, [](std::size_t i) {
+        if (i == 2 || i == 5) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      // jobs=1 runs in order so index 2 throws first; with more jobs the
+      // lowest-index exception wins deterministically.
+      EXPECT_STREQ(e.what(), "boom 2") << "jobs=" << jobs;
+    }
+  }
+}
+
+// --- Experiment determinism --------------------------------------------------
+
+TEST(ParallelExperimentTest, JobCountDoesNotChangeResults) {
+  exp::PaperScenario::Options options;
+  options.scale = 0.02;
+  options.trials = 5;
+  const exp::PaperScenario scenario(options);
+
+  exp::ExperimentSpec spec = scenario.experimentSpec(
+      exp::PaperScenario::kRate20k, workload::ArrivalPattern::Spiky);
+  spec.sim.heuristic = "MM";
+
+  spec.jobs = 1;
+  const exp::ExperimentResult serial =
+      exp::runExperiment(scenario.hetero(), spec);
+  spec.jobs = 4;
+  const exp::ExperimentResult parallel =
+      exp::runExperiment(scenario.hetero(), spec);
+
+  ASSERT_EQ(serial.perTrialRobustness.size(),
+            parallel.perTrialRobustness.size());
+  for (std::size_t i = 0; i < serial.perTrialRobustness.size(); ++i) {
+    EXPECT_EQ(serial.perTrialRobustness[i], parallel.perTrialRobustness[i]);
+  }
+  // Aggregates fold in trial order, so they are bit-identical too.
+  EXPECT_EQ(serial.robustnessCi.mean, parallel.robustnessCi.mean);
+  EXPECT_EQ(serial.robustnessCi.halfWidth, parallel.robustnessCi.halfWidth);
+  EXPECT_EQ(serial.meanUtilization.mean(), parallel.meanUtilization.mean());
+  EXPECT_EQ(serial.deferralsPerTask.mean(), parallel.deferralsPerTask.mean());
+}
+
+TEST(ParallelExperimentTest, TrialRunnerMatchesExperimentTrials) {
+  exp::PaperScenario::Options options;
+  options.scale = 0.02;
+  options.trials = 3;
+  const exp::PaperScenario scenario(options);
+
+  exp::ExperimentSpec spec = scenario.experimentSpec(
+      exp::PaperScenario::kRate20k, workload::ArrivalPattern::Spiky);
+  spec.sim.heuristic = "MSD";
+
+  const exp::ExperimentResult result =
+      exp::runExperiment(scenario.hetero(), spec);
+  const exp::TrialRunner runner(scenario.hetero(), spec);
+  ASSERT_EQ(runner.trials(), 3u);
+  for (std::size_t t = 0; t < spec.trials; ++t) {
+    EXPECT_EQ(runner.runTrial(t).robustnessPercent,
+              result.perTrialRobustness[t]);
+  }
+}
+
+}  // namespace

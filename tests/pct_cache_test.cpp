@@ -1,0 +1,259 @@
+// Tests for the PCT cache: memoized append convolutions, queue-chain
+// prefixes, hit/invalidate-on-epoch-bump semantics, and end-to-end
+// equivalence of cached vs uncached simulation.
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "exp/scenario.h"
+#include "heuristics/pct_cache.h"
+#include "prob/pmf.h"
+#include "sim/machine.h"
+#include "sim/task.h"
+#include "test_util.h"
+
+namespace {
+
+using hcs::heuristics::PctCache;
+using hcs::prob::DiscretePmf;
+using hcs::sim::Machine;
+using hcs::sim::TaskPool;
+using hcs::testutil::FakeModel;
+
+FakeModel twoTypeModel() {
+  // Two task types, one machine; PMFs with some spread so convolutions are
+  // non-trivial.
+  return FakeModel({
+      {DiscretePmf(2, {0.5, 0.5})},
+      {DiscretePmf(3, {0.25, 0.5, 0.25})},
+  });
+}
+
+// --- Machine queue epoch -----------------------------------------------------
+
+TEST(QueueEpochTest, BumpsOnEveryMutation) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  const auto e0 = m.queueEpoch();
+
+  const auto a = pool.create(0, 0.0, 50.0);
+  const auto b = pool.create(1, 0.0, 50.0);
+  const auto c = pool.create(0, 0.0, 50.0);
+  m.dispatch(a, 0.0, pool, model);
+  const auto e1 = m.queueEpoch();
+  EXPECT_GT(e1, e0);
+
+  m.dispatch(b, 1.0, pool, model);
+  m.dispatch(c, 1.0, pool, model);
+  const auto e2 = m.queueEpoch();
+  EXPECT_GT(e2, e1);
+
+  m.removeQueued(c, 2.0, pool, model);
+  const auto e3 = m.queueEpoch();
+  EXPECT_GT(e3, e2);
+
+  m.finishRunning(3.0, pool, model);
+  const auto e4 = m.queueEpoch();
+  EXPECT_GT(e4, e3);
+
+  m.startNextIfIdle(3.0, pool, model);
+  const auto e5 = m.queueEpoch();
+  EXPECT_GT(e5, e4);
+
+  m.abortRunning(4.0, pool, model);
+  EXPECT_GT(m.queueEpoch(), e5);
+}
+
+// --- appendPct ---------------------------------------------------------------
+
+TEST(PctCacheTest, AppendPctMatchesUncachedComputation) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  PctCache cache;
+
+  const auto a = pool.create(0, 0.0, 50.0);
+  const auto b = pool.create(1, 0.0, 50.0);
+  m.dispatch(a, 0.0, pool, model);
+  m.dispatch(b, 0.0, pool, model);
+
+  for (hcs::sim::TaskType type : {0, 1}) {
+    const DiscretePmf expected =
+        m.tailPct(5.0, pool, model).convolve(model.pet(type, 0));
+    EXPECT_EQ(cache.appendPct(m, 5.0, pool, model, type), expected);
+    EXPECT_DOUBLE_EQ(cache.appendChance(m, 5.0, pool, model, type, 9.0),
+                     expected.successProbability(9.0));
+  }
+}
+
+TEST(PctCacheTest, SecondLookupIsAHit) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  PctCache cache;
+
+  m.dispatch(pool.create(0, 0.0, 50.0), 0.0, pool, model);
+
+  cache.appendPct(m, 1.0, pool, model, 0);
+  EXPECT_EQ(cache.stats().appendMisses, 1u);
+  EXPECT_EQ(cache.stats().appendHits, 0u);
+
+  cache.appendPct(m, 1.0, pool, model, 0);
+  EXPECT_EQ(cache.stats().appendMisses, 1u);
+  EXPECT_EQ(cache.stats().appendHits, 1u);
+
+  // A different type misses (separate convolution), then hits.
+  cache.appendPct(m, 1.0, pool, model, 1);
+  cache.appendPct(m, 1.0, pool, model, 1);
+  EXPECT_EQ(cache.stats().appendMisses, 2u);
+  EXPECT_EQ(cache.stats().appendHits, 2u);
+}
+
+TEST(PctCacheTest, EpochBumpInvalidates) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  PctCache cache;
+
+  m.dispatch(pool.create(0, 0.0, 50.0), 0.0, pool, model);
+  cache.appendPct(m, 1.0, pool, model, 0);
+  cache.appendPct(m, 1.0, pool, model, 0);
+  EXPECT_EQ(cache.stats().appendHits, 1u);
+
+  // Mutating the machine bumps the epoch; the next lookup must recompute
+  // against the new queue state.
+  m.dispatch(pool.create(1, 0.0, 50.0), 1.0, pool, model);
+  const DiscretePmf expected =
+      m.tailPct(1.0, pool, model).convolve(model.pet(0, 0));
+  EXPECT_EQ(cache.appendPct(m, 1.0, pool, model, 0), expected);
+  EXPECT_EQ(cache.stats().appendMisses, 2u);
+  EXPECT_EQ(cache.stats().appendHits, 1u);
+}
+
+TEST(PctCacheTest, UntrackedMachineUsesElapsedBinKey) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  // trackTail off — the immediate-mode configuration.
+  Machine m(0, 1.0, /*trackTail=*/false);
+  PctCache cache;
+
+  const auto a = pool.create(0, 0.0, 50.0);
+  const auto b = pool.create(1, 0.0, 50.0);
+  m.dispatch(a, 0.0, pool, model);
+  m.dispatch(b, 0.0, pool, model);
+
+  const DiscretePmf atOne =
+      m.tailPct(1.0, pool, model).convolve(model.pet(0, 0));
+  EXPECT_EQ(cache.appendPct(m, 1.0, pool, model, 0), atOne);
+
+  // Same elapsed bin, same epoch: hit even though `now` moved within the
+  // bin... (bin width 1.0, so 1.4 stays in elapsed bin 1).
+  cache.appendPct(m, 1.4, pool, model, 0);
+  EXPECT_EQ(cache.stats().appendHits, 1u);
+
+  // Crossing into the next elapsed bin re-conditions the chain.
+  const DiscretePmf atTwo =
+      m.tailPct(2.0, pool, model).convolve(model.pet(0, 0));
+  EXPECT_EQ(cache.appendPct(m, 2.0, pool, model, 0), atTwo);
+  EXPECT_EQ(cache.stats().appendMisses, 2u);
+}
+
+// --- queuePcts ---------------------------------------------------------------
+
+TEST(PctCacheTest, QueuePctsMatchManualChain) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  PctCache cache;
+
+  m.dispatch(pool.create(0, 0.0, 50.0), 0.0, pool, model);  // runs
+  m.dispatch(pool.create(1, 0.0, 50.0), 0.0, pool, model);  // queued
+  m.dispatch(pool.create(0, 0.0, 50.0), 0.0, pool, model);  // queued
+
+  const auto pcts = cache.queuePcts(m, 2.0, pool, model);
+  ASSERT_EQ(pcts.size(), 2u);
+
+  DiscretePmf acc = m.availabilityPct(2.0, pool, model);
+  acc = acc.convolve(model.pet(1, 0));
+  EXPECT_EQ(pcts[0], acc);
+  acc = acc.convolve(model.pet(0, 0));
+  EXPECT_EQ(pcts[1], acc);
+
+  // Same epoch + elapsed bin: chain hit.
+  cache.queuePcts(m, 2.0, pool, model);
+  EXPECT_EQ(cache.stats().chainHits, 1u);
+  EXPECT_EQ(cache.stats().chainMisses, 1u);
+
+  // Queue mutation invalidates.
+  m.removeQueued(2, 2.0, pool, model);  // drops the type-0 task at the back
+  const auto after = cache.queuePcts(m, 2.0, pool, model);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0],
+            m.availabilityPct(2.0, pool, model).convolve(model.pet(1, 0)));
+  EXPECT_EQ(cache.stats().chainMisses, 2u);
+}
+
+// --- scalar memo helpers -----------------------------------------------------
+
+TEST(PctCacheTest, RemainingMeanMatchesPmfMean) {
+  FakeModel model = twoTypeModel();
+  TaskPool pool;
+  Machine m(0, 1.0);
+  PctCache cache;
+
+  m.dispatch(pool.create(1, 0.0, 50.0), 0.0, pool, model);
+  const double expected =
+      model.pet(1, 0).conditionalRemaining(1.7).mean();
+  EXPECT_EQ(cache.remainingMean(m, 1.7, pool, model), expected);
+  cache.remainingMean(m, 1.7, pool, model);
+  EXPECT_EQ(cache.stats().meanHits, 1u);
+}
+
+TEST(DiscretePmfFastPathTest, ScalarShortcutsMatchMaterializedPmfs) {
+  const DiscretePmf pet(3, {0.1, 0.0, 0.4, 0.3, 0.2}, 0.5);
+  for (double elapsed : {0.0, 0.4, 1.1, 1.6, 2.9, 5.0}) {
+    const DiscretePmf remaining = pet.conditionalRemaining(elapsed);
+    EXPECT_EQ(remaining.mean(), pet.conditionalRemainingMean(elapsed))
+        << "elapsed=" << elapsed;
+    const auto [lo, hi] = pet.conditionalRemainingBounds(elapsed);
+    EXPECT_EQ(lo, remaining.firstBin()) << "elapsed=" << elapsed;
+    EXPECT_EQ(hi, remaining.lastBin()) << "elapsed=" << elapsed;
+  }
+  // cdfShiftedBy == shifted().cdf().
+  for (double t : {0.0, 1.5, 2.0, 3.7}) {
+    EXPECT_EQ(pet.cdfShiftedBy(4, t), pet.shifted(4).cdf(t));
+  }
+}
+
+// --- end-to-end equivalence --------------------------------------------------
+
+TEST(PctCacheTest, CachedSimulationMatchesUncachedExactly) {
+  hcs::exp::PaperScenario::Options options;
+  options.scale = 0.02;
+  options.trials = 2;
+  const hcs::exp::PaperScenario scenario(options);
+
+  for (const char* heuristic : {"MM", "MMU", "MCT"}) {
+    hcs::exp::ExperimentSpec spec = scenario.experimentSpec(
+        hcs::exp::PaperScenario::kRate20k,
+        hcs::workload::ArrivalPattern::Spiky);
+    spec.sim.heuristic = heuristic;
+
+    spec.sim.pctCacheEnabled = true;
+    const auto cached = hcs::exp::runExperiment(scenario.hetero(), spec);
+    spec.sim.pctCacheEnabled = false;
+    const auto uncached = hcs::exp::runExperiment(scenario.hetero(), spec);
+
+    ASSERT_EQ(cached.perTrialRobustness.size(),
+              uncached.perTrialRobustness.size());
+    for (std::size_t i = 0; i < cached.perTrialRobustness.size(); ++i) {
+      EXPECT_EQ(cached.perTrialRobustness[i], uncached.perTrialRobustness[i])
+          << heuristic << " trial " << i;
+    }
+    EXPECT_EQ(cached.robustnessCi.mean, uncached.robustnessCi.mean)
+        << heuristic;
+  }
+}
+
+}  // namespace

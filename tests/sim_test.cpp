@@ -106,6 +106,65 @@ TEST(EventQueueTest, TryPopOnAllCancelledReturnsNullopt) {
   EXPECT_THROW(q.pop(), std::logic_error);
 }
 
+TEST(EventQueueTest, CancelThenPopClearsTheCancellation) {
+  EventQueue q;
+  const auto seq = q.nextSeq();
+  q.push(1.0, EventKind::TaskCompletion, 1, 0);
+  q.cancel(seq);
+  EXPECT_EQ(q.pendingCancellations(), 1u);
+  EXPECT_FALSE(q.tryPop().has_value());
+  // The cancellation was consumed when the event surfaced; a fresh event
+  // that happens to reuse nothing is unaffected.
+  EXPECT_EQ(q.pendingCancellations(), 0u);
+  q.push(2.0, EventKind::TaskArrival, 2);
+  EXPECT_EQ(q.pop().task, 2);
+}
+
+TEST(EventQueueTest, CancelUnknownSeqIsHarmless) {
+  EventQueue q;
+  q.push(1.0, EventKind::TaskArrival, 1);
+  q.cancel(9999);  // never pushed
+  q.cancel(9999);  // and twice — duplicate cancellations collapse
+  EXPECT_EQ(q.pendingCancellations(), 1u);
+  EXPECT_EQ(q.pop().task, 1);  // real events keep flowing
+  EXPECT_FALSE(q.tryPop().has_value());
+  // The phantom cancellation stays pending but never matches anything.
+  EXPECT_EQ(q.pendingCancellations(), 1u);
+}
+
+TEST(EventQueueTest, DoubleCancelOfOneEventSkipsItOnce) {
+  EventQueue q;
+  const auto seq = q.nextSeq();
+  q.push(1.0, EventKind::TaskCompletion, 1, 0);
+  q.cancel(seq);
+  q.cancel(seq);
+  q.push(2.0, EventKind::TaskArrival, 2);
+  EXPECT_EQ(q.pop().task, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DrainAllWithInterleavedCancellations) {
+  EventQueue q;
+  std::vector<std::uint64_t> seqs;
+  for (int i = 0; i < 20; ++i) {
+    seqs.push_back(q.nextSeq());
+    q.push(static_cast<double>(20 - i), EventKind::TaskArrival, i);
+  }
+  // Cancel every third event.
+  for (std::size_t i = 0; i < seqs.size(); i += 3) q.cancel(seqs[i]);
+  std::vector<hcs::sim::TaskId> popped;
+  while (auto e = q.tryPop()) popped.push_back(e->task);
+  EXPECT_EQ(popped.size(), 13u);
+  // Earliest time first = highest task id first (times were descending),
+  // with multiples of three missing.
+  for (std::size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_GT(popped[i - 1], popped[i]);
+  }
+  for (hcs::sim::TaskId id : popped) EXPECT_NE(id % 3, 0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pendingCancellations(), 0u);
+}
+
 // --- Machine: dispatch / completion lifecycle --------------------------------
 
 FakeModel twoTypeModel() {

@@ -34,6 +34,7 @@ void usage(const char* argv0) {
       "  --homogeneous      use the homogeneous cluster\n"
       "  --trials N         trials (default 8)\n"
       "  --scale X          workload scale factor (default 0.1)\n"
+      "  --jobs N           trial threads: 1 serial, 0 all cores (default 1)\n"
       "  --seed N           base seed (default 2019)\n"
       "  --no-pruning       disable the pruning mechanism entirely\n"
       "  --threshold X      pruning threshold beta in [0,1] (default 0.5)\n"
@@ -43,6 +44,8 @@ void usage(const char* argv0) {
       "  --capacity N       machine queue capacity (default 4)\n"
       "  --kpb X            KPB's K fraction (default 0.375)\n"
       "  --abort-overdue    abort running tasks at their deadline\n"
+      "  --no-pct-cache     disable PCT memoization (results identical;\n"
+      "                     for timing comparisons)\n"
       "  --trace FILE       replay a saved workload trace (single trial)\n"
       "  --save-trace FILE  save trial 0's workload to FILE and exit\n"
       "  --csv              machine-readable output\n",
@@ -96,6 +99,8 @@ int main(int argc, char** argv) {
       options.trials = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--scale") {
       options.scale = std::strtod(next(), nullptr);
+    } else if (arg == "--jobs") {
+      options.jobs = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-pruning") {
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
       sim.heuristicOptions.kpbPercent = std::strtod(next(), nullptr);
     } else if (arg == "--abort-overdue") {
       sim.abortRunningAtDeadline = true;
+    } else if (arg == "--no-pct-cache") {
+      sim.pctCacheEnabled = false;
     } else if (arg == "--trace") {
       tracePath = next();
     } else if (arg == "--save-trace") {
