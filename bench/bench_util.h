@@ -10,16 +10,69 @@
 // Environment variables HCS_FULL / HCS_SCALE / HCS_TRIALS / HCS_JOBS act as
 // defaults.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/report.h"
 #include "exp/scenario.h"
 
 namespace hcs::bench {
+
+/// Minimal machine-readable artifact writer for the BENCH_*.json files that
+/// track perf across PRs (flat object, insertion order preserved).
+class JsonWriter {
+ public:
+  JsonWriter& field(const char* name, const char* value) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "\"%s\"", value);
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+  JsonWriter& field(const char* name, double value) {
+    char buf[64];
+    // %g keeps small configuration values (scale factors, sub-ms timings)
+    // from collapsing to 0.000.
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+  JsonWriter& field(const char* name, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    fields_.emplace_back(name, buf);
+    return *this;
+  }
+
+  /// Writes `{ ... }` to `path`; returns false (with a stderr note) on
+  /// failure.
+  bool write(const char* path) const {
+    FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: could not write %s\n", path);
+      return false;
+    }
+    std::fprintf(out, "{\n");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 struct BenchArgs {
   exp::PaperScenario::Options scenario;

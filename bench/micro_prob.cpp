@@ -2,16 +2,57 @@
 // the paper's overhead discussion (§V-A: convolution cost is the pruning
 // mechanism's main overhead; memoization and a dedicated scheduling node
 // keep it off the worker machines).
+//
+// After the google-benchmark suites, main() times the Eq. 1 kernel two ways
+// — the seed's heap-allocating scalar convolution versus the arena-backed
+// register-tiled kernel — counts their heap allocations through a hooked
+// global allocator, adds a linear-scan vs prefix-sum CDF comparison, and
+// writes BENCH_pmf_kernel.json so the kernel-level perf trajectory is
+// machine-readable alongside BENCH_pct_cache.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+
+#include "bench_util.h"
+#include "prob/arena.h"
 #include "prob/histogram.h"
+#include "prob/kernels.h"
 #include "prob/pmf.h"
 #include "prob/rng.h"
+
+// --- Hooked allocator: counts every heap allocation in this binary ----------
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}
+
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
 using hcs::prob::DiscretePmf;
+using hcs::prob::PmfArena;
 using hcs::prob::Rng;
 
 DiscretePmf makePmf(std::size_t bins, std::uint64_t seed) {
@@ -69,6 +110,166 @@ void BM_Sample(benchmark::State& state) {
 }
 BENCHMARK(BM_Sample);
 
+// --- Arena-kernel vs heap-scalar comparison (BENCH_pmf_kernel.json) ---------
+
+/// The seed's convolution, retained verbatim as the uncached reference: a
+/// fresh heap vector per operation, scalar clamp loop, erase-based trim.
+DiscretePmf heapNaiveConvolve(const DiscretePmf& a, const DiscretePmf& b) {
+  const std::size_t outSize = a.size() + b.size() - 1;
+  std::vector<double> out(outSize, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double p = a.probs()[i];
+    if (p == 0.0) continue;
+    double* dst = out.data() + i;
+    const double* src = b.probs().data();
+    for (std::size_t j = 0; j < b.size(); ++j) dst[j] += p * src[j];
+  }
+  auto isPositive = [](double v) { return v > 0.0; };
+  auto head = std::find_if(out.begin(), out.end(), isPositive);
+  auto tail = std::find_if(out.rbegin(), out.rend(), isPositive).base();
+  const auto first = a.firstBin() + b.firstBin() +
+                     std::distance(out.begin(), head);
+  out.erase(tail, out.end());
+  out.erase(out.begin(), head);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  for (double& v : out) v /= total;
+  return DiscretePmf(first, std::move(out));
+}
+
+bool gPathsDiverged = false;
+
+double elapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void runKernelComparison() {
+  // Representative Eq. 1 shape: a machine-tail PCT convolved with a PET.
+  constexpr std::size_t kTailBins = 256;
+  constexpr std::size_t kPetBins = 64;
+  constexpr int kChain = 4;    // convolutions per simulated mapping event
+  constexpr int kEvents = 800;
+  const DiscretePmf tailSeed = makePmf(kTailBins, 11);
+  const DiscretePmf pet = makePmf(kPetBins, 12);
+
+  // Leg A — seed behavior: heap-allocated scalar convolutions.
+  auto runNaive = [&] {
+    double sink = 0.0;
+    for (int e = 0; e < kEvents; ++e) {
+      DiscretePmf acc = tailSeed;
+      for (int c = 0; c < kChain; ++c) acc = heapNaiveConvolve(acc, pet);
+      sink += acc.mean();
+    }
+    return sink;
+  };
+  // Leg B — destination-passing kernel, dead buffers recycled.
+  PmfArena arena;
+  auto runArena = [&] {
+    double sink = 0.0;
+    for (int e = 0; e < kEvents; ++e) {
+      DiscretePmf acc = hcs::prob::convolveInto(arena, tailSeed, pet);
+      for (int c = 1; c < kChain; ++c) {
+        hcs::prob::convolveInPlace(arena, acc, pet);
+      }
+      sink += acc.mean();
+      arena.recycle(std::move(acc));
+    }
+    return sink;
+  };
+
+  runNaive();  // warm both legs (page faults, pool population)
+  runArena();
+
+  gAllocCount.store(0, std::memory_order_relaxed);
+  auto start = std::chrono::steady_clock::now();
+  double naiveSink = runNaive();
+  const double naiveMs = elapsedMs(start);
+  const std::uint64_t naiveAllocs =
+      gAllocCount.load(std::memory_order_relaxed);
+
+  gAllocCount.store(0, std::memory_order_relaxed);
+  start = std::chrono::steady_clock::now();
+  double arenaSink = runArena();
+  const double arenaMs = elapsedMs(start);
+  const std::uint64_t arenaAllocs =
+      gAllocCount.load(std::memory_order_relaxed);
+
+  benchmark::DoNotOptimize(naiveSink);
+  benchmark::DoNotOptimize(arenaSink);
+  if (naiveSink != arenaSink) {
+    std::fprintf(stderr,
+                 "micro_prob: kernel paths diverged (%.17g vs %.17g)\n",
+                 naiveSink, arenaSink);
+    gPathsDiverged = true;
+  }
+
+  // Linear-scan vs prefix-sum CDF on a long PCT (the pruner's Eq. 2 query).
+  const DiscretePmf pct = makePmf(4096, 13);
+  constexpr int kQueries = 200000;
+  Rng probeRng(14);
+  std::vector<double> probes;
+  probes.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    probes.push_back(probeRng.uniform(pct.minTime(), pct.maxTime()));
+  }
+  double linearSink = 0.0;
+  start = std::chrono::steady_clock::now();
+  for (double t : probes) linearSink += pct.cdf(t);
+  const double cdfLinearMs = elapsedMs(start);
+  pct.ensureCdfCache();
+  double prefixSink = 0.0;
+  start = std::chrono::steady_clock::now();
+  for (double t : probes) prefixSink += pct.cdf(t);
+  const double cdfPrefixMs = elapsedMs(start);
+  benchmark::DoNotOptimize(linearSink);
+  benchmark::DoNotOptimize(prefixSink);
+  if (linearSink != prefixSink) {
+    std::fprintf(stderr, "micro_prob: cdf paths diverged\n");
+    gPathsDiverged = true;
+  }
+
+  const double speedup = arenaMs > 0.0 ? naiveMs / arenaMs : 0.0;
+  const double cdfSpeedup =
+      cdfPrefixMs > 0.0 ? cdfLinearMs / cdfPrefixMs : 0.0;
+  std::printf(
+      "\nPMF kernel comparison (%zux%zu Eq. 1 chain, %d events x %d):\n"
+      "  heap naive   %8.1f ms   %8llu allocations\n"
+      "  arena kernel %8.1f ms   %8llu allocations   (%.2fx)\n"
+      "CDF of a %zu-bin PCT, %d queries:\n"
+      "  linear scan  %8.1f ms\n"
+      "  prefix sums  %8.1f ms   (%.2fx)\n",
+      kTailBins, kPetBins, kEvents, kChain, naiveMs,
+      static_cast<unsigned long long>(naiveAllocs), arenaMs,
+      static_cast<unsigned long long>(arenaAllocs), speedup, pct.size(),
+      kQueries, cdfLinearMs, cdfPrefixMs, cdfSpeedup);
+
+  hcs::bench::JsonWriter json;
+  json.field("bench", "pmf_kernel")
+      .field("tail_bins", static_cast<std::uint64_t>(kTailBins))
+      .field("pet_bins", static_cast<std::uint64_t>(kPetBins))
+      .field("events", static_cast<std::uint64_t>(kEvents))
+      .field("chain", static_cast<std::uint64_t>(kChain))
+      .field("naive_ms", naiveMs)
+      .field("arena_ms", arenaMs)
+      .field("speedup", speedup)
+      .field("naive_allocations", naiveAllocs)
+      .field("arena_allocations", arenaAllocs)
+      .field("cdf_linear_ms", cdfLinearMs)
+      .field("cdf_prefix_ms", cdfPrefixMs)
+      .field("cdf_speedup", cdfSpeedup);
+  json.write("BENCH_pmf_kernel.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runKernelComparison();
+  // Divergence between the reference and kernel paths is a bit-identity
+  // regression: fail the process so CI catches it.
+  return gPathsDiverged ? 1 : 0;
+}

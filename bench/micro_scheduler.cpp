@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "bench_util.h"
 #include "core/simulation.h"
 #include "exp/experiment.h"
 #include "exp/parallel.h"
@@ -147,28 +148,18 @@ void runPctCacheComparison() {
       options.trials, options.scale, uncachedSerialMs, cachedSerialMs,
       cacheSpeedup, resolvedJobs, cachedParallelMs, combinedSpeedup);
 
-  if (FILE* out = std::fopen("BENCH_pct_cache.json", "w")) {
-    std::fprintf(
-        out,
-        "{\n"
-        "  \"bench\": \"pct_cache\",\n"
-        "  \"heuristic\": \"MM\",\n"
-        "  \"trials\": %zu,\n"
-        "  \"scale\": %g,\n"
-        "  \"jobs\": %zu,\n"
-        "  \"uncached_serial_ms\": %.3f,\n"
-        "  \"cached_serial_ms\": %.3f,\n"
-        "  \"cached_parallel_ms\": %.3f,\n"
-        "  \"cache_speedup\": %.3f,\n"
-        "  \"combined_speedup\": %.3f\n"
-        "}\n",
-        options.trials, options.scale, resolvedJobs, uncachedSerialMs,
-        cachedSerialMs, cachedParallelMs, cacheSpeedup, combinedSpeedup);
-    std::fclose(out);
-    std::printf("wrote BENCH_pct_cache.json\n");
-  } else {
-    std::fprintf(stderr, "micro_scheduler: could not write BENCH_pct_cache.json\n");
-  }
+  hcs::bench::JsonWriter json;
+  json.field("bench", "pct_cache")
+      .field("heuristic", "MM")
+      .field("trials", static_cast<std::uint64_t>(options.trials))
+      .field("scale", options.scale)
+      .field("jobs", static_cast<std::uint64_t>(resolvedJobs))
+      .field("uncached_serial_ms", uncachedSerialMs)
+      .field("cached_serial_ms", cachedSerialMs)
+      .field("cached_parallel_ms", cachedParallelMs)
+      .field("cache_speedup", cacheSpeedup)
+      .field("combined_speedup", combinedSpeedup);
+  json.write("BENCH_pct_cache.json");
 }
 
 }  // namespace

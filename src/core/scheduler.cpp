@@ -6,7 +6,35 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "prob/arena.h"
+#include "prob/kernels.h"
+
 namespace hcs::core {
+
+namespace {
+
+/// Decides a chance-vs-bar comparison from the candidate PCT's support
+/// interval alone.  Returns exactly 0 when every bin misses the cutoff,
+/// 1 when every bin makes it AND the bar sits far enough from 1 that the
+/// true chance (within the PMF mass tolerance of 1) compares identically,
+/// and nullopt when the comparison genuinely needs the convolution.
+/// `cutoff` must use the same arithmetic as DiscretePmf::cdf
+/// (deadline + binWidth * 1e-6); the bar guard mirrors Pruner::belowBar's
+/// `chance <= bar` semantics.  Shared by the proactive dropping pass and
+/// the deferring check so the delicate tolerance logic exists once.
+std::optional<double> chanceFromSupportBounds(
+    std::int64_t candMin, std::int64_t candMax, double binWidth,
+    double cutoff, const pruning::Pruner& pruner, sim::TaskType type,
+    double value) {
+  if (static_cast<double>(candMin) * binWidth >= cutoff) return 0.0;
+  if (static_cast<double>(candMax) * binWidth < cutoff) {
+    const double bar = pruner.pruningBar(type, value);
+    if (bar < 1.0 - 1e-6 || bar >= 1.0) return 1.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 AllocationMode allocationModeFor(const std::string& heuristicName) {
   if (heuristics::isImmediateHeuristic(heuristicName)) {
@@ -175,13 +203,15 @@ void Scheduler::reactiveDropPass(World& world, sim::Time now) {
     return true;
   });
   // Machine queues (the running task is past saving only under the
-  // abort-at-deadline policy, handled separately).
+  // abort-at-deadline policy, handled separately).  The overdue list is a
+  // member scratch — this pass runs at every mapping event and is almost
+  // always empty.
   for (sim::Machine& m : world.machines) {
-    std::vector<sim::TaskId> overdue;
+    overdueScratch_.clear();
     for (sim::TaskId id : m.queue()) {
-      if (world.pool[id].missedDeadline(now)) overdue.push_back(id);
+      if (world.pool[id].missedDeadline(now)) overdueScratch_.push_back(id);
     }
-    for (sim::TaskId id : overdue) {
+    for (sim::TaskId id : overdueScratch_) {
       m.removeQueued(id, now, world.pool, world.model);
       dropTask(world, id, now, sim::TaskStatus::DroppedReactive);
     }
@@ -197,21 +227,27 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
     //
     if (pctCache_ == nullptr) {
       // Reference path (pctCacheEnabled off): recompute the full chain per
-      // candidate, exactly as the paper's Fig. 5 pseudo-code reads.
+      // candidate, exactly as the paper's Fig. 5 pseudo-code reads.  The
+      // chain ping-pongs between two arena buffers — no allocation.
+      prob::PmfArena& arena = prob::PmfArena::local();
       prob::DiscretePmf referenceAcc =
           m.availabilityPct(now, world.pool, world.model);
-      std::vector<sim::TaskId> referenceDrop;
+      std::vector<sim::TaskId>& referenceDrop = overdueScratch_;
+      referenceDrop.clear();
       for (sim::TaskId id : m.queue()) {
         const sim::Task& t = world.pool[id];
-        const prob::DiscretePmf pct =
-            referenceAcc.convolve(world.model.pet(t.type, m.id()));
+        prob::DiscretePmf pct = prob::convolveInto(
+            arena, referenceAcc, world.model.pet(t.type, m.id()));
         const double chance = pct.successProbability(t.deadline);
         if (pruner_.shouldDrop(t.type, chance, t.value)) {
           referenceDrop.push_back(id);
+          arena.recycle(std::move(pct));
         } else {
-          referenceAcc = pct;
+          arena.recycle(std::move(referenceAcc));
+          referenceAcc = std::move(pct);
         }
       }
+      arena.recycle(std::move(referenceAcc));
       for (sim::TaskId id : referenceDrop) {
         m.removeQueued(id, now, world.pool, world.model);
         dropTask(world, id, now, sim::TaskStatus::DroppedProactive);
@@ -235,31 +271,27 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
     std::optional<prob::DiscretePmf> acc;  // kept chain once a drop diverges
     // Kept PETs not yet folded into acc (and, pre-drop, the kept prefix in
     // case acc must be seeded without a materialized chain).
-    std::vector<const prob::DiscretePmf*> pending;
+    std::vector<const prob::DiscretePmf*>& pending = pendingScratch_;
+    pending.clear();
     bool droppedAny = false;
-    std::vector<sim::TaskId> toDrop;
+    std::vector<sim::TaskId>& toDrop = overdueScratch_;
+    toDrop.clear();
     std::size_t idx = 0;
     for (sim::TaskId id : m.queue()) {
       const sim::Task& t = world.pool[id];
       const prob::DiscretePmf& pet = world.model.pet(t.type, m.id());
       const std::int64_t candMin = accMinB + pet.firstBin();
       const std::int64_t candMax = accMaxB + pet.lastBin();
-      // Same cutoff arithmetic as DiscretePmf::cdf.
       const double cutoff = t.deadline + w * 1e-6;
+      const std::optional<double> boundsChance = chanceFromSupportBounds(
+          candMin, candMax, w, cutoff, pruner_, t.type, t.value);
       bool drop;
       bool keptViaAcc = false;
-      if (static_cast<double>(candMin) * w >= cutoff) {
-        // The entire support misses the deadline: the chance is exactly 0.
-        drop = pruner_.shouldDrop(t.type, 0.0, t.value);
-      } else if (static_cast<double>(candMax) * w < cutoff &&
-                 [&] {
-                   const double bar = pruner_.pruningBar(t.type, t.value);
-                   return bar < 1.0 - 1e-6 || bar >= 1.0;
-                 }()) {
-        // The entire support makes the deadline: the chance is within the
-        // PMF mass tolerance of 1, and the bar is far enough from 1 that
-        // the comparison cannot flip.
-        drop = pruner_.shouldDrop(t.type, 1.0, t.value);
+      if (boundsChance.has_value()) {
+        // The whole support sits on one side of the deadline: the chance
+        // (exactly 0, or within the mass tolerance of 1 with the bar far
+        // from 1) decides shouldDrop without any convolution.
+        drop = pruner_.shouldDrop(t.type, *boundsChance, t.value);
       } else if (!droppedAny) {
         if (!chain.has_value()) {
           chain.emplace(
@@ -269,14 +301,20 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
             chain->rel[idx].cdfShiftedBy(chain->anchor, t.deadline);
         drop = pruner_.shouldDrop(t.type, chance, t.value);
       } else {
-        for (const prob::DiscretePmf* p : pending) acc = acc->convolve(*p);
+        prob::PmfArena& arena = prob::PmfArena::local();
+        for (const prob::DiscretePmf* p : pending) {
+          prob::convolveInPlace(arena, *acc, *p);
+        }
         pending.clear();
-        prob::DiscretePmf pct = acc->convolve(pet);
+        prob::DiscretePmf pct = prob::convolveInto(arena, *acc, pet);
         const double chance = pct.successProbability(t.deadline);
         drop = pruner_.shouldDrop(t.type, chance, t.value);
         if (!drop) {
+          arena.recycle(std::move(*acc));
           acc = std::move(pct);
           keptViaAcc = true;
+        } else {
+          arena.recycle(std::move(pct));
         }
       }
       if (drop) {
@@ -288,8 +326,9 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
             acc = chain->rel[idx - 1].shifted(chain->anchor);
           } else {
             acc = m.availabilityPct(now, world.pool, world.model);
+            prob::PmfArena& arena = prob::PmfArena::local();
             for (const prob::DiscretePmf* p : pending) {
-              acc = acc->convolve(*p);
+              prob::convolveInPlace(arena, *acc, *p);
             }
           }
           pending.clear();
@@ -303,6 +342,7 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
       }
       ++idx;
     }
+    if (acc.has_value()) prob::PmfArena::local().recycle(std::move(*acc));
     for (sim::TaskId id : toDrop) {
       m.removeQueued(id, now, world.pool, world.model);
       dropTask(world, id, now, sim::TaskStatus::DroppedProactive);
@@ -310,12 +350,32 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
   }
 }
 
+double Scheduler::deferChance(World& world,
+                              const heuristics::MappingContext& ctx,
+                              const heuristics::Assignment& a,
+                              const sim::Task& t, sim::Time now) const {
+  if (pctCache_ != nullptr) {
+    const sim::Machine& m = world.machines[static_cast<std::size_t>(a.machine)];
+    const double w = m.binWidth();
+    const double cutoff = t.deadline + w * 1e-6;
+    const auto [tailLo, tailHi] = m.tailBounds(now, world.pool, world.model);
+    const prob::DiscretePmf& pet = world.model.pet(t.type, m.id());
+    const std::optional<double> boundsChance = chanceFromSupportBounds(
+        tailLo + pet.firstBin(), tailHi + pet.lastBin(), w, cutoff, pruner_,
+        t.type, t.value);
+    if (boundsChance.has_value()) return *boundsChance;
+  }
+  return ctx.successChance(a.task, a.machine);
+}
+
 void Scheduler::runBatchMapping(World& world, sim::Time now) {
-  std::unordered_set<sim::TaskId> deferredThisEvent;
+  std::unordered_set<sim::TaskId>& deferredThisEvent = deferredScratch_;
+  deferredThisEvent.clear();
   while (!batchQueue_.empty()) {
     // Tasks deferred in this event are out of the running until the next
     // mapping event (step 10 defers "to the next mapping event").
-    std::vector<sim::TaskId> candidates;
+    std::vector<sim::TaskId>& candidates = candidateScratch_;
+    candidates.clear();
     candidates.reserve(batchQueue_.size());
     for (sim::TaskId id : batchQueue_) {
       if (!deferredThisEvent.contains(id)) candidates.push_back(id);
@@ -333,9 +393,16 @@ void Scheduler::runBatchMapping(World& world, sim::Time now) {
       // Step 10: chance of success on the *live* machine state (earlier
       // dispatches in this event are already reflected in the tail PCT).
       // When the configuration can never defer, the chance is dead weight —
-      // skip its convolution outright.
+      // skip its convolution outright.  Otherwise try to decide the defer
+      // comparison from support bounds alone (the same interval shortcut
+      // the proactive pass uses): when the whole candidate PCT support
+      // sits on one side of the deadline, the chance is exactly 0 or
+      // within the mass tolerance of 1 and the convolution never runs.
+      // Like the proactive pass, the shortcut belongs to the incremental
+      // machinery — the --no-pct-cache reference path recomputes the full
+      // chance per candidate, exactly as Fig. 5 reads.
       const double chance = pruner_.deferUsesChance()
-                                ? ctx.successChance(a.task, a.machine)
+                                ? deferChance(world, ctx, a, t, now)
                                 : 1.0;
       if (pruner_.shouldDefer(t.type, chance, t.value)) {
         deferredThisEvent.insert(a.task);

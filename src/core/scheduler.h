@@ -4,6 +4,7 @@
 // Fig. 5 against the simulator substrate.
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/config.h"
@@ -63,6 +64,13 @@ class Scheduler {
   void reactiveDropPass(World& world, sim::Time now);       // step 1
   void proactiveDropPass(World& world, sim::Time now);      // steps 4-6
   void runBatchMapping(World& world, sim::Time now);        // steps 7-11
+
+  /// Chance of success for the step-10 deferring check: decided from the
+  /// candidate PCT's support bounds when possible (identical decision,
+  /// no convolution), otherwise computed through the context.
+  double deferChance(World& world, const heuristics::MappingContext& ctx,
+                     const heuristics::Assignment& a, const sim::Task& t,
+                     sim::Time now) const;
   void startIdleMachines(World& world, sim::Time now);      // step 11 tail
   void mappingEvent(World& world, sim::Time now);           // the whole figure
 
@@ -88,6 +96,14 @@ class Scheduler {
   std::vector<sim::TaskId> batchQueue_;
   /// Pending completion-event sequence number per machine (for aborts).
   std::vector<std::uint64_t> completionSeq_;
+  /// Reusable drop-candidate list shared by the reactive and proactive
+  /// passes (their uses never overlap; usually empty).
+  std::vector<sim::TaskId> overdueScratch_;
+  /// Reusable kept-PET list for the proactive pass's incremental chain.
+  std::vector<const prob::DiscretePmf*> pendingScratch_;
+  /// Reusable per-event working sets for runBatchMapping.
+  std::vector<sim::TaskId> candidateScratch_;
+  std::unordered_set<sim::TaskId> deferredScratch_;
   std::size_t mappingEvents_ = 0;
 };
 

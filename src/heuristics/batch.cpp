@@ -6,64 +6,76 @@
 
 namespace hcs::heuristics {
 
-std::vector<Assignment> TwoPhaseBatchHeuristic::map(
-    const MappingContext& ctx, std::span<const sim::TaskId> batch) {
+template <class ScoreFn>
+std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch,
+    const ScoreFn& score) {
   const int m = ctx.numMachines();
-  std::vector<double> virtualReady(static_cast<std::size_t>(m));
-  std::vector<std::size_t> slots(static_cast<std::size_t>(m));
+  virtualReady_.resize(static_cast<std::size_t>(m));
+  slots_.resize(static_cast<std::size_t>(m));
   for (sim::MachineId j = 0; j < m; ++j) {
-    virtualReady[static_cast<std::size_t>(j)] = ctx.expectedReady(j);
-    slots[static_cast<std::size_t>(j)] = ctx.freeSlots(j);
+    virtualReady_[static_cast<std::size_t>(j)] = ctx.expectedReady(j);
+    slots_[static_cast<std::size_t>(j)] = ctx.freeSlots(j);
   }
-  std::vector<sim::TaskId> unmapped(batch.begin(), batch.end());
+  unmapped_.assign(batch.begin(), batch.end());
   std::vector<Assignment> result;
 
-  // One candidate per machine per round.
-  struct Candidate {
-    sim::TaskId task = sim::kInvalidTask;
-    Score score;
-    std::size_t unmappedIndex = 0;
-  };
+  const auto numTypes = static_cast<std::size_t>(ctx.model().numTaskTypes());
+  phase1ByType_.resize(numTypes);
+  phase1Stale_.assign(numTypes, true);
 
-  while (!unmapped.empty()) {
+  while (!unmapped_.empty()) {
     const bool anySlot =
-        std::any_of(slots.begin(), slots.end(),
+        std::any_of(slots_.begin(), slots_.end(),
                     [](std::size_t s) { return s > 0; });
     if (!anySlot) break;
 
-    std::vector<Candidate> best(static_cast<std::size_t>(m));
+    // One candidate per machine per round.
+    best_.assign(static_cast<std::size_t>(m), Candidate{});
     bool anyCandidate = false;
-    for (std::size_t i = 0; i < unmapped.size(); ++i) {
-      const sim::TaskId task = unmapped[i];
+    for (std::size_t i = 0; i < unmapped_.size(); ++i) {
+      const sim::TaskId task = unmapped_[i];
       const sim::TaskType type = ctx.pool()[task].type;
       // Phase 1: machine with the minimum expected completion time among
       // those with a free virtual slot (the runner-up is kept for
-      // sufferage-style scores).
-      constexpr double kNoSecond = std::numeric_limits<double>::infinity();
-      Phase1Result phase1;
-      phase1.secondEct = kNoSecond;
-      for (sim::MachineId j = 0; j < m; ++j) {
-        if (slots[static_cast<std::size_t>(j)] == 0) continue;
-        const double ect = virtualReady[static_cast<std::size_t>(j)] +
-                           ctx.expectedExec(type, j);
-        if (phase1.machine == sim::kInvalidMachine) {
-          phase1.machine = j;
-          phase1.ect = ect;
-        } else if (ect < phase1.ect) {
-          phase1.secondEct = phase1.ect;
-          phase1.machine = j;
-          phase1.ect = ect;
-        } else if (ect < phase1.secondEct) {
-          phase1.secondEct = ect;
+      // sufferage-style scores).  The scan's inputs are the virtual queue
+      // state and the task's TYPE — every unmapped task of a type shares
+      // the identical result, so each round scans once per live type
+      // instead of once per task.
+      const auto typeIdx = static_cast<std::size_t>(type);
+      if (phase1Stale_[typeIdx]) {
+        constexpr double kNoSecond = std::numeric_limits<double>::infinity();
+        Phase1Result phase1;
+        phase1.secondEct = kNoSecond;
+        for (sim::MachineId j = 0; j < m; ++j) {
+          if (slots_[static_cast<std::size_t>(j)] == 0) continue;
+          const double ect = virtualReady_[static_cast<std::size_t>(j)] +
+                             ctx.expectedExec(type, j);
+          if (phase1.machine == sim::kInvalidMachine) {
+            phase1.machine = j;
+            phase1.ect = ect;
+          } else if (ect < phase1.ect) {
+            phase1.secondEct = phase1.ect;
+            phase1.machine = j;
+            phase1.ect = ect;
+          } else if (ect < phase1.secondEct) {
+            phase1.secondEct = ect;
+          }
         }
+        if (phase1.machine != sim::kInvalidMachine &&
+            phase1.secondEct == kNoSecond) {
+          phase1.secondEct = phase1.ect;
+        }
+        phase1ByType_[typeIdx] = phase1;
+        phase1Stale_[typeIdx] = false;
       }
+      const Phase1Result& phase1 = phase1ByType_[typeIdx];
       if (phase1.machine == sim::kInvalidMachine) continue;
-      if (phase1.secondEct == kNoSecond) phase1.secondEct = phase1.ect;
       // Phase 2 bookkeeping: keep the best-scoring candidate per machine.
-      const Score score = phase2Score(ctx, task, phase1);
-      Candidate& slot = best[static_cast<std::size_t>(phase1.machine)];
-      if (slot.task == sim::kInvalidTask || score < slot.score) {
-        slot = Candidate{task, score, i};
+      const Score s = score(ctx, task, phase1);
+      Candidate& slot = best_[static_cast<std::size_t>(phase1.machine)];
+      if (slot.task == sim::kInvalidTask || s < slot.score) {
+        slot = Candidate{task, s, i};
       }
       anyCandidate = true;
     }
@@ -71,62 +83,83 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::map(
 
     // Commit this round's winners (highest unmapped index first so the
     // pending erases do not invalidate the stored indices).
-    std::vector<Candidate> winners;
+    winners_.clear();
     for (sim::MachineId j = 0; j < m; ++j) {
-      Candidate& c = best[static_cast<std::size_t>(j)];
+      Candidate& c = best_[static_cast<std::size_t>(j)];
       if (c.task == sim::kInvalidTask) continue;
       result.push_back(Assignment{c.task, j});
-      slots[static_cast<std::size_t>(j)] -= 1;
-      virtualReady[static_cast<std::size_t>(j)] +=
+      slots_[static_cast<std::size_t>(j)] -= 1;
+      virtualReady_[static_cast<std::size_t>(j)] +=
           ctx.expectedExec(ctx.pool()[c.task].type, j);
-      winners.push_back(c);
+      winners_.push_back(c);
     }
-    std::sort(winners.begin(), winners.end(),
+    std::sort(winners_.begin(), winners_.end(),
               [](const Candidate& a, const Candidate& b) {
                 return a.unmappedIndex > b.unmappedIndex;
               });
-    for (const Candidate& c : winners) {
-      unmapped.erase(unmapped.begin() +
-                     static_cast<std::ptrdiff_t>(c.unmappedIndex));
+    for (const Candidate& c : winners_) {
+      unmapped_.erase(unmapped_.begin() +
+                      static_cast<std::ptrdiff_t>(c.unmappedIndex));
     }
+    // The winners changed the virtual queue state every phase-1 scan reads.
+    std::fill(phase1Stale_.begin(), phase1Stale_.end(), char{1});
   }
   return result;
 }
 
-TwoPhaseBatchHeuristic::Score MinCompletionMinCompletion::phase2Score(
-    const MappingContext& /*ctx*/, sim::TaskId /*task*/,
-    const Phase1Result& phase1) const {
-  return Score{phase1.ect, phase1.ect};
+std::vector<Assignment> MinCompletionMinCompletion::map(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch) {
+  return mapImpl(ctx, batch,
+                 [](const MappingContext&, sim::TaskId,
+                    const Phase1Result& phase1) {
+                   return Score{phase1.ect, phase1.ect};
+                 });
 }
 
-TwoPhaseBatchHeuristic::Score MinCompletionSoonestDeadline::phase2Score(
-    const MappingContext& ctx, sim::TaskId task,
-    const Phase1Result& phase1) const {
-  return Score{ctx.pool()[task].deadline, phase1.ect};
+std::vector<Assignment> MinCompletionSoonestDeadline::map(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch) {
+  return mapImpl(ctx, batch,
+                 [](const MappingContext& c, sim::TaskId task,
+                    const Phase1Result& phase1) {
+                   return Score{c.pool()[task].deadline, phase1.ect};
+                 });
 }
 
-TwoPhaseBatchHeuristic::Score MinCompletionMaxUrgency::phase2Score(
-    const MappingContext& ctx, sim::TaskId task,
-    const Phase1Result& phase1) const {
-  const double slack = ctx.pool()[task].deadline - phase1.ect;
-  // Eq. 3: urgency = 1 / slack.  Maximal urgency (lowest score) when the
-  // deadline is already at or past the expected completion.
-  const double urgency =
-      slack <= 1e-12 ? std::numeric_limits<double>::infinity() : 1.0 / slack;
-  return Score{-urgency, phase1.ect};
+std::vector<Assignment> MinCompletionMaxUrgency::map(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch) {
+  return mapImpl(ctx, batch,
+                 [](const MappingContext& c, sim::TaskId task,
+                    const Phase1Result& phase1) {
+                   const double slack = c.pool()[task].deadline - phase1.ect;
+                   // Eq. 3: urgency = 1 / slack.  Maximal urgency (lowest
+                   // score) when the deadline is already at or past the
+                   // expected completion.
+                   const double urgency =
+                       slack <= 1e-12
+                           ? std::numeric_limits<double>::infinity()
+                           : 1.0 / slack;
+                   return Score{-urgency, phase1.ect};
+                 });
 }
 
-TwoPhaseBatchHeuristic::Score MaxMin::phase2Score(
-    const MappingContext& /*ctx*/, sim::TaskId /*task*/,
-    const Phase1Result& phase1) const {
-  return Score{-phase1.ect, phase1.ect};
+std::vector<Assignment> MaxMin::map(const MappingContext& ctx,
+                                    std::span<const sim::TaskId> batch) {
+  return mapImpl(ctx, batch,
+                 [](const MappingContext&, sim::TaskId,
+                    const Phase1Result& phase1) {
+                   return Score{-phase1.ect, phase1.ect};
+                 });
 }
 
-TwoPhaseBatchHeuristic::Score SufferageHeuristic::phase2Score(
-    const MappingContext& /*ctx*/, sim::TaskId /*task*/,
-    const Phase1Result& phase1) const {
-  // Largest sufferage (second-best minus best completion) wins the slot.
-  return Score{-(phase1.secondEct - phase1.ect), phase1.ect};
+std::vector<Assignment> SufferageHeuristic::map(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch) {
+  return mapImpl(ctx, batch,
+                 [](const MappingContext&, sim::TaskId,
+                    const Phase1Result& phase1) {
+                   // Largest sufferage (second-best minus best completion)
+                   // wins the slot.
+                   return Score{-(phase1.secondEct - phase1.ect), phase1.ect};
+                 });
 }
 
 }  // namespace hcs::heuristics

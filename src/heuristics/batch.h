@@ -11,6 +11,12 @@
 //             candidates by a per-heuristic criterion, assign virtually,
 //             and repeat until the virtual queues are full or the unmapped
 //             queue is empty.
+//
+// The engine is statically bound to each heuristic's phase-2 score (a
+// template, not a virtual call): the score runs O(batch × machines × rounds)
+// times per mapping event, which made it the scheduler's single hottest
+// virtual dispatch.  Scratch buffers live on the heuristic object — one
+// warm-up allocation per trial instead of five per round.
 
 #include <limits>
 
@@ -19,12 +25,8 @@
 namespace hcs::heuristics {
 
 /// Shared two-phase engine; subclasses supply the phase-2 selection score
-/// (lower wins).
+/// (lower wins) through the statically bound mapImpl().
 class TwoPhaseBatchHeuristic : public BatchHeuristic {
- public:
-  std::vector<Assignment> map(const MappingContext& ctx,
-                              std::span<const sim::TaskId> batch) override;
-
  protected:
   /// Lexicographic comparison: primary first, expected completion breaks
   /// ties (as MSD specifies; harmless for the others).
@@ -47,29 +49,48 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
     double secondEct = 0.0;
   };
 
-  /// Phase-2 score of mapping `task` on its phase-1 machine.
-  virtual Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                            const Phase1Result& phase1) const = 0;
+  /// One machine's best phase-2 candidate this round.
+  struct Candidate {
+    sim::TaskId task = sim::kInvalidTask;
+    Score score;
+    std::size_t unmappedIndex = 0;
+  };
+
+  /// The two-phase loop with `score(ctx, task, phase1)` inlined at the
+  /// call site; every concrete heuristic's map() delegates here.
+  template <class ScoreFn>
+  std::vector<Assignment> mapImpl(const MappingContext& ctx,
+                                  std::span<const sim::TaskId> batch,
+                                  const ScoreFn& score);
+
+ private:
+  /// Per-round working sets, reused across mapping events (the heuristic
+  /// object lives for the whole trial).
+  std::vector<double> virtualReady_;
+  std::vector<std::size_t> slots_;
+  std::vector<sim::TaskId> unmapped_;
+  std::vector<Candidate> best_;
+  std::vector<Candidate> winners_;
+  /// Phase-1 results memoized per task type within a round (phase 1 reads
+  /// only the virtual queue state and the task's type).
+  std::vector<Phase1Result> phase1ByType_;
+  std::vector<char> phase1Stale_;
 };
 
 /// MM: phase 2 also minimizes expected completion time (classic MinMin).
 class MinCompletionMinCompletion final : public TwoPhaseBatchHeuristic {
  public:
   std::string_view name() const override { return "MM"; }
-
- protected:
-  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                    const Phase1Result& phase1) const override;
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
 };
 
 /// MSD: phase 2 picks the soonest deadline, ties broken by completion time.
 class MinCompletionSoonestDeadline final : public TwoPhaseBatchHeuristic {
  public:
   std::string_view name() const override { return "MSD"; }
-
- protected:
-  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                    const Phase1Result& phase1) const override;
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
 };
 
 /// MMU: phase 2 maximizes urgency U = 1 / (deadline - E[C]) (Eq. 3).
@@ -79,10 +100,8 @@ class MinCompletionSoonestDeadline final : public TwoPhaseBatchHeuristic {
 class MinCompletionMaxUrgency final : public TwoPhaseBatchHeuristic {
  public:
   std::string_view name() const override { return "MMU"; }
-
- protected:
-  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                    const Phase1Result& phase1) const override;
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
 };
 
 /// MaxMin (extension; Braun et al.'s classic counterpart to MinMin): phase 2
@@ -91,10 +110,8 @@ class MinCompletionMaxUrgency final : public TwoPhaseBatchHeuristic {
 class MaxMin final : public TwoPhaseBatchHeuristic {
  public:
   std::string_view name() const override { return "MaxMin"; }
-
- protected:
-  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                    const Phase1Result& phase1) const override;
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
 };
 
 /// Sufferage (extension; Maheswaran et al. 1999): phase 2 prioritizes the
@@ -103,10 +120,8 @@ class MaxMin final : public TwoPhaseBatchHeuristic {
 class SufferageHeuristic final : public TwoPhaseBatchHeuristic {
  public:
   std::string_view name() const override { return "Sufferage"; }
-
- protected:
-  Score phase2Score(const MappingContext& ctx, sim::TaskId task,
-                    const Phase1Result& phase1) const override;
+  std::vector<Assignment> map(const MappingContext& ctx,
+                              std::span<const sim::TaskId> batch) override;
 };
 
 }  // namespace hcs::heuristics

@@ -1,7 +1,11 @@
 #include "heuristics/context.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "prob/arena.h"
+#include "prob/kernels.h"
 #include "prob/pmf.h"
 
 namespace hcs::heuristics {
@@ -16,11 +20,10 @@ MappingContext::MappingContext(sim::Time now, const sim::TaskPool& pool,
       model_(&model),
       capacity_(queueCapacity),
       pctCache_(pctCache),
-      readyCache_(machines.size(), 0.0),
-      readyCached_(machines.size(), false),
-      execCache_(static_cast<std::size_t>(model.numTaskTypes()) *
-                     machines.size(),
-                 -1.0) {
+      readyCache_(prob::PmfArena::local().acquire(machines.size(), -1.0)),
+      execCache_(prob::PmfArena::local().acquire(
+          static_cast<std::size_t>(model.numTaskTypes()) * machines.size(),
+          -1.0)) {
   if (machines.empty()) {
     throw std::invalid_argument("MappingContext: no machines");
   }
@@ -29,9 +32,15 @@ MappingContext::MappingContext(sim::Time now, const sim::TaskPool& pool,
   }
 }
 
+MappingContext::~MappingContext() {
+  prob::PmfArena& arena = prob::PmfArena::local();
+  arena.recycle(std::move(execCache_));
+  arena.recycle(std::move(readyCache_));
+}
+
 sim::Time MappingContext::expectedReady(sim::MachineId id) const {
   const auto idx = static_cast<std::size_t>(id);
-  if (!readyCached_[idx]) {
+  if (readyCache_[idx] < 0.0) {
     const sim::Machine& m = (*machines_)[idx];
     if (pctCache_ != nullptr) {
       // Same arithmetic as Machine::expectedReady, with the conditional
@@ -47,7 +56,6 @@ sim::Time MappingContext::expectedReady(sim::MachineId id) const {
     } else {
       readyCache_[idx] = m.expectedReady(now_, *pool_, *model_);
     }
-    readyCached_[idx] = true;
   }
   return readyCache_[idx];
 }
@@ -77,9 +85,46 @@ double MappingContext::successChance(sim::TaskId task,
     return pctCache_->appendChance(m, now_, *pool_, *model_, t.type,
                                    t.deadline);
   }
-  const prob::DiscretePmf pct =
-      m.tailPct(now_, *pool_, *model_).convolve(model_->pet(t.type, id));
-  return pct.successProbability(t.deadline);
+  prob::PmfArena& arena = prob::PmfArena::local();
+  prob::DiscretePmf base = m.tailPct(now_, *pool_, *model_);
+  prob::DiscretePmf pct = prob::convolveInto(arena, base, model_->pet(t.type, id));
+  arena.recycle(std::move(base));
+  const double chance = pct.successProbability(t.deadline);
+  arena.recycle(std::move(pct));
+  return chance;
+}
+
+std::vector<double> MappingContext::successChances(sim::TaskId task) const {
+  const sim::Task& t = (*pool_)[task];
+  const int m = numMachines();
+  std::vector<double> chances;
+  chances.reserve(static_cast<std::size_t>(m));
+  if (pctCache_ != nullptr) {
+    // Memoized append entries answer each machine without re-convolving.
+    for (sim::MachineId j = 0; j < m; ++j) {
+      chances.push_back(pctCache_->appendChance(
+          (*machines_)[static_cast<std::size_t>(j)], now_, *pool_, *model_,
+          t.type, t.deadline));
+    }
+    return chances;
+  }
+  // Uncached: materialize every machine's appended PCT once into arena
+  // buffers, then score the whole batch against the deadline in one pass.
+  prob::PmfArena& arena = prob::PmfArena::local();
+  std::vector<prob::DiscretePmf> pcts;
+  pcts.reserve(static_cast<std::size_t>(m));
+  std::vector<const prob::DiscretePmf*> ptrs;
+  ptrs.reserve(static_cast<std::size_t>(m));
+  for (sim::MachineId j = 0; j < m; ++j) {
+    const sim::Machine& machine = (*machines_)[static_cast<std::size_t>(j)];
+    prob::DiscretePmf base = machine.tailPct(now_, *pool_, *model_);
+    pcts.push_back(prob::convolveInto(arena, base, model_->pet(t.type, j)));
+    arena.recycle(std::move(base));
+  }
+  for (const prob::DiscretePmf& pct : pcts) ptrs.push_back(&pct);
+  chances = prob::successProbabilityBatch(ptrs, t.deadline);
+  for (prob::DiscretePmf& pct : pcts) arena.recycle(std::move(pct));
+  return chances;
 }
 
 }  // namespace hcs::heuristics

@@ -56,6 +56,9 @@ class MappingContext {
     return value;
   }
 
+  MappingContext(MappingContext&&) = default;
+  ~MappingContext();
+
   /// Expected completion time of `task` if appended to machine `id` now:
   /// expectedReady + E[PET] (the scalar estimate MCT/MM/MSD/MMU use).
   sim::Time expectedCompletion(sim::TaskId task, sim::MachineId id) const;
@@ -71,6 +74,13 @@ class MappingContext {
   /// uses; heavier than expectedCompletion (one convolution).
   double successChance(sim::TaskId task, sim::MachineId id) const;
 
+  /// Chance of success of `task` on *every* machine, element j equal to
+  /// successChance(task, j).  Evaluates the whole candidate set in one pass
+  /// (prob::successProbabilityBatch over arena-backed PCTs, or the memoized
+  /// append entries when the PCT cache is attached) — the bulk query for
+  /// chance-aware heuristics that rank all machines at once.
+  std::vector<double> successChances(sim::TaskId task) const;
+
   PctCache* pctCache() const { return pctCache_; }
 
  private:
@@ -80,9 +90,11 @@ class MappingContext {
   const sim::ExecutionModel* model_;
   std::size_t capacity_;
   PctCache* pctCache_;
-  mutable std::vector<sim::Time> readyCache_;
-  mutable std::vector<bool> readyCached_;
-  /// -1 = unfilled; execution-time means are always positive.
+  /// Contexts are built per batch round — the memo buffers ride the PMF
+  /// arena instead of paying three heap allocations each time.  -1 =
+  /// unfilled in both caches (ready times and execution means are never
+  /// negative); the destructor recycles the buffers.
+  mutable std::vector<double> readyCache_;
   mutable std::vector<double> execCache_;
 };
 

@@ -44,6 +44,23 @@ sim::MachineId MinimumExpectedCompletionTime::selectMachine(
   return best;
 }
 
+sim::MachineId MaxChance::selectMachine(const MappingContext& ctx,
+                                        sim::TaskId task) {
+  // Eq. 2 as the placement criterion: evaluate every machine's chance of
+  // success in one bulk query (the Eq. 1 convolutions run batched through
+  // the arena kernels) and take the argmax; ties fall to the lowest id and
+  // then the scalar completion estimate never enters the decision.
+  const std::vector<double> chances = ctx.successChances(task);
+  sim::MachineId best = 0;
+  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+    if (chances[static_cast<std::size_t>(j)] >
+        chances[static_cast<std::size_t>(best)]) {
+      best = j;
+    }
+  }
+  return best;
+}
+
 KPercentBest::KPercentBest(double kPercent) : kPercent_(kPercent) {
   if (kPercent <= 0.0 || kPercent > 1.0) {
     throw std::invalid_argument("KPercentBest: kPercent outside (0, 1]");

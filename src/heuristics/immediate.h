@@ -36,6 +36,18 @@ class MinimumExpectedCompletionTime final : public ImmediateHeuristic {
                                sim::TaskId task) override;
 };
 
+/// Maximum Chance (extension): places each task on the machine maximizing
+/// its Eq. 2 chance of success — the full probabilistic criterion instead
+/// of MCT's scalar completion estimate.  Ranks every machine through
+/// MappingContext::successChances (one bulk Eq. 1/Eq. 2 pass over the
+/// candidate set); ties resolve to the lowest machine id.
+class MaxChance final : public ImmediateHeuristic {
+ public:
+  std::string_view name() const override { return "MaxChance"; }
+  sim::MachineId selectMachine(const MappingContext& ctx,
+                               sim::TaskId task) override;
+};
+
 /// K-Percent Best: MCT restricted to the K% of machines with the lowest
 /// expected execution time for the task's type (a blend of MET and MCT).
 class KPercentBest final : public ImmediateHeuristic {

@@ -1,8 +1,34 @@
 #include "heuristics/pct_cache.h"
 
 #include <cmath>
+#include <utility>
+
+#include "prob/arena.h"
+#include "prob/kernels.h"
 
 namespace hcs::heuristics {
+
+namespace {
+
+/// Returns every PMF owned by a memo container to the arena before the
+/// container is cleared — the buffers feed the replacement chain's kernels.
+void recycleValues(prob::PmfArena& arena,
+                   std::vector<std::optional<prob::DiscretePmf>>& slots) {
+  for (auto& slot : slots) {
+    if (slot.has_value()) {
+      arena.recycle(std::move(*slot));
+      slot.reset();
+    }
+  }
+}
+
+void recycleValues(prob::PmfArena& arena,
+                   std::vector<prob::DiscretePmf>& chain) {
+  for (prob::DiscretePmf& pmf : chain) arena.recycle(std::move(pmf));
+  chain.clear();
+}
+
+}  // namespace
 
 std::int64_t PctCache::binAt(const sim::Machine& m, sim::Time t) {
   // Mirrors Machine::binAt.
@@ -20,12 +46,13 @@ std::int64_t PctCache::elapsedBinOf(const sim::Machine& m, sim::Time now) {
 prob::DiscretePmf PctCache::relativeAvailability(
     const sim::Machine& m, sim::Time now, const sim::TaskPool& pool,
     const sim::ExecutionModel& model) {
+  prob::PmfArena& arena = prob::PmfArena::local();
   if (!m.busy()) {
-    return prob::DiscretePmf(0, {1.0}, m.binWidth());
+    return prob::pointMassInto(arena, 0, m.binWidth());
   }
   const sim::Task& task = pool[m.runningTask()];
-  return model.pet(task.type, m.id())
-      .conditionalRemaining(now - m.runningSince());
+  return prob::conditionalRemainingInto(arena, model.pet(task.type, m.id()),
+                                        now - m.runningSince());
 }
 
 PctCache::MachineEntry& PctCache::entryFor(const sim::Machine& m,
@@ -34,7 +61,21 @@ PctCache::MachineEntry& PctCache::entryFor(const sim::Machine& m,
   if (entries_.size() <= idx) entries_.resize(idx + 1);
   MachineEntry& entry = entries_[idx];
   if (!entry.valid || entry.epoch != m.queueEpoch()) {
-    entry = MachineEntry{};
+    // Invalidate in place: the dead memo PMFs feed the arena (their buffers
+    // become the replacement chain's kernels' outputs) and the containers
+    // keep their capacity.
+    prob::PmfArena& arena = prob::PmfArena::local();
+    recycleValues(arena, entry.appendByType);
+    if (entry.relTail.has_value()) {
+      arena.recycle(std::move(*entry.relTail));
+      entry.relTail.reset();
+    }
+    if (entry.relChain.has_value()) {
+      recycleValues(arena, *entry.relChain);
+      entry.relChain.reset();
+    }
+    entry.elapsedBin = -2;
+    entry.chainElapsedBin = -2;
     entry.valid = true;
     entry.epoch = m.queueEpoch();
     entry.tracked = m.tailTracked();
@@ -50,20 +91,25 @@ const prob::DiscretePmf& PctCache::appendEntry(const sim::Machine& m,
                                                std::int64_t& anchorOut) {
   MachineEntry& entry = entryFor(m, now);
   const prob::DiscretePmf& pet = model.pet(type, m.id());
+  prob::PmfArena& arena = prob::PmfArena::local();
+  const auto typeIdx = static_cast<std::size_t>(type);
+  if (entry.appendByType.size() <= typeIdx) {
+    entry.appendByType.resize(
+        static_cast<std::size_t>(model.numTaskTypes()));
+  }
 
   if (entry.tracked) {
     // The Eq. 1 tail is anchored at absolute times and independent of
     // `now`: memoized convolutions survive until the next queue mutation.
     anchorOut = 0;
-    if (auto it = entry.appendByType.find(type);
-        it != entry.appendByType.end()) {
+    std::optional<prob::DiscretePmf>& slot = entry.appendByType[typeIdx];
+    if (slot.has_value()) {
       ++stats_.appendHits;
-      return it->second;
+      return *slot;
     }
     ++stats_.appendMisses;
-    return entry.appendByType
-        .emplace(type, m.tailPct(now, pool, model).convolve(pet))
-        .first->second;
+    slot = prob::convolveInto(arena, m.tailPctRef(now, pool, model), pet);
+    return *slot;
   }
 
   // Untracked tail: the chain is conditioned at `now`, so memoize on the
@@ -73,22 +119,23 @@ const prob::DiscretePmf& PctCache::appendEntry(const sim::Machine& m,
   const std::int64_t elapsedBin = elapsedBinOf(m, now);
   if (entry.elapsedBin != elapsedBin || !entry.relTail.has_value()) {
     entry.elapsedBin = elapsedBin;
-    entry.appendByType.clear();
+    recycleValues(arena, entry.appendByType);
     prob::DiscretePmf acc = relativeAvailability(m, now, pool, model);
     for (sim::TaskId id : m.queue()) {
-      acc = acc.convolve(model.pet(pool[id].type, m.id()));
+      prob::convolveInPlace(arena, acc, model.pet(pool[id].type, m.id()));
     }
+    if (entry.relTail.has_value()) arena.recycle(std::move(*entry.relTail));
     entry.relTail = std::move(acc);
   }
   anchorOut = binAt(m, now);
-  if (auto it = entry.appendByType.find(type);
-      it != entry.appendByType.end()) {
+  std::optional<prob::DiscretePmf>& slot = entry.appendByType[typeIdx];
+  if (slot.has_value()) {
     ++stats_.appendHits;
-    return it->second;
+    return *slot;
   }
   ++stats_.appendMisses;
-  return entry.appendByType.emplace(type, entry.relTail->convolve(pet))
-      .first->second;
+  slot = prob::convolveInto(arena, *entry.relTail, pet);
+  return *slot;
 }
 
 prob::DiscretePmf PctCache::appendPct(const sim::Machine& m, sim::Time now,
@@ -120,13 +167,21 @@ PctCache::QueueChainView PctCache::queueChain(const sim::Machine& m,
   if (!entry.relChain.has_value() || entry.chainElapsedBin != elapsedBin) {
     ++stats_.chainMisses;
     entry.chainElapsedBin = elapsedBin;
+    prob::PmfArena& arena = prob::PmfArena::local();
     std::vector<prob::DiscretePmf> chain;
-    chain.reserve(m.queueLength());
-    prob::DiscretePmf acc = relativeAvailability(m, now, pool, model);
-    for (sim::TaskId id : m.queue()) {
-      acc = acc.convolve(model.pet(pool[id].type, m.id()));
-      chain.push_back(acc);
+    if (entry.relChain.has_value()) {
+      chain = std::move(*entry.relChain);
+      recycleValues(arena, chain);
     }
+    chain.reserve(m.queueLength());
+    prob::DiscretePmf avail = relativeAvailability(m, now, pool, model);
+    const prob::DiscretePmf* prev = &avail;
+    for (sim::TaskId id : m.queue()) {
+      chain.push_back(
+          prob::convolveInto(arena, *prev, model.pet(pool[id].type, m.id())));
+      prev = &chain.back();
+    }
+    arena.recycle(std::move(avail));
     entry.relChain = std::move(chain);
   } else {
     ++stats_.chainHits;
@@ -166,15 +221,24 @@ double PctCache::remainingMean(const sim::Machine& m, sim::Time now,
   if (remainingMeans_.size() <= idx) remainingMeans_.resize(idx + 1);
   const std::uint64_t key = (static_cast<std::uint64_t>(task.type) << 44) |
                             static_cast<std::uint64_t>(elapsedBin);
-  auto& memo = remainingMeans_[idx];
-  if (auto it = memo.find(key); it != memo.end()) {
+  MeanMemo& memo = remainingMeans_[idx];
+  if (memo.hasLast && memo.lastKey == key) {
     ++stats_.meanHits;
-    return it->second;
+    return memo.lastValue;
   }
-  ++stats_.meanMisses;
-  const double mean = model.pet(task.type, m.id())
-                          .conditionalRemainingMean(now - m.runningSince());
-  memo.emplace(key, mean);
+  double mean;
+  if (auto it = memo.byKey.find(key); it != memo.byKey.end()) {
+    ++stats_.meanHits;
+    mean = it->second;
+  } else {
+    ++stats_.meanMisses;
+    mean = model.pet(task.type, m.id())
+               .conditionalRemainingMean(now - m.runningSince());
+    memo.byKey.emplace(key, mean);
+  }
+  memo.hasLast = true;
+  memo.lastKey = key;
+  memo.lastValue = mean;
   return mean;
 }
 

@@ -111,10 +111,12 @@ class PctCache {
     std::int64_t elapsedBin = -2;
     std::int64_t chainElapsedBin = -2;
 
-    /// Memoized tailPct ⊛ PET per task type.  On an absolute grid when the
-    /// machine's Eq. 1 tail is tracked (the tail itself is absolute and
-    /// independent of `now`); otherwise on a grid relative to `now`'s bin.
-    std::unordered_map<sim::TaskType, prob::DiscretePmf> appendByType;
+    /// Memoized tailPct ⊛ PET per task type, indexed directly by type (task
+    /// types are a small dense range — a flat array beats hashing on the
+    /// per-candidate path).  On an absolute grid when the machine's Eq. 1
+    /// tail is tracked (the tail itself is absolute and independent of
+    /// `now`); otherwise on a grid relative to `now`'s bin.
+    std::vector<std::optional<prob::DiscretePmf>> appendByType;
 
     /// Memoized untracked tail (relative grid), feeding appendByType misses.
     std::optional<prob::DiscretePmf> relTail;
@@ -144,9 +146,19 @@ class PctCache {
                                                 const sim::TaskPool& pool,
                                                 const sim::ExecutionModel& model);
 
+  /// Per machine: (type, elapsed bin) → conditional remaining mean, with a
+  /// one-entry front cache — expectedReady polls every machine at every
+  /// mapping event, and consecutive events usually land in the same elapsed
+  /// bin, so most lookups never touch the hash table.
+  struct MeanMemo {
+    bool hasLast = false;
+    std::uint64_t lastKey = 0;
+    double lastValue = 0.0;
+    std::unordered_map<std::uint64_t, double> byKey;
+  };
+
   std::vector<MachineEntry> entries_;
-  /// Per machine: (type, elapsed bin) → conditional remaining mean.
-  std::vector<std::unordered_map<std::uint64_t, double>> remainingMeans_;
+  std::vector<MeanMemo> remainingMeans_;
   Stats stats_;
 };
 

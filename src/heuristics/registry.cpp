@@ -6,7 +6,8 @@
 namespace hcs::heuristics {
 
 namespace {
-const std::vector<std::string> kImmediate = {"RR", "MET", "MCT", "KPB"};
+const std::vector<std::string> kImmediate = {"RR", "MET", "MCT", "KPB",
+                                             "MaxChance"};
 const std::vector<std::string> kBatchHetero = {"MM", "MSD", "MMU", "MaxMin",
                                                "Sufferage"};
 const std::vector<std::string> kHomogeneous = {"FCFS-RR", "EDF", "SJF"};
@@ -24,6 +25,7 @@ std::unique_ptr<ImmediateHeuristic> makeImmediate(
   if (name == "KPB") {
     return std::make_unique<KPercentBest>(options.kpbPercent);
   }
+  if (name == "MaxChance") return std::make_unique<MaxChance>();
   throw std::invalid_argument("makeImmediate: unknown heuristic " + name);
 }
 

@@ -1,0 +1,76 @@
+#include "prob/arena.h"
+
+#include <utility>
+
+#include "prob/pmf.h"
+
+namespace hcs::prob {
+
+std::vector<double> PmfArena::acquire(std::size_t n, double fill) {
+  ++stats_.acquires;
+  // A buffer of capacity exactly n lives one bucket BELOW the first
+  // guaranteed bucket (floor vs ceil of log2): peek there first — recurring
+  // operation sizes make this the common hit.
+  if (n > 0) {
+    std::vector<std::vector<double>>& floorBucket =
+        pool_[std::min(bucketForCapacity(n), kBuckets - 1)];
+    if (!floorBucket.empty() && floorBucket.back().capacity() >= n) {
+      std::vector<double> buf = std::move(floorBucket.back());
+      floorBucket.pop_back();
+      if (floorBucket.empty()) {
+        nonEmpty_ &=
+            ~(std::uint32_t{1} << std::min(bucketForCapacity(n), kBuckets - 1));
+      }
+      buf.assign(n, fill);
+      return buf;
+    }
+  }
+  // First bucket that guarantees capacity >= n, then any larger one.  A hit
+  // never reallocates: assign() reuses the existing capacity.
+  const std::uint32_t usable =
+      nonEmpty_ & (~std::uint32_t{0} << bucketForRequest(n));
+  if (usable != 0) {
+    const auto k = static_cast<std::size_t>(std::countr_zero(usable));
+    std::vector<std::vector<double>>& bucket = pool_[k];
+    std::vector<double> buf = std::move(bucket.back());
+    bucket.pop_back();
+    if (bucket.empty()) nonEmpty_ &= ~(std::uint32_t{1} << k);
+    buf.assign(n, fill);
+    return buf;
+  }
+  ++stats_.allocations;
+  return std::vector<double>(n, fill);
+}
+
+void PmfArena::recycle(std::vector<double>&& buf) {
+  const std::size_t capacity = buf.capacity();
+  if (capacity == 0) return;
+  const std::size_t k = std::min(bucketForCapacity(capacity), kBuckets - 1);
+  std::vector<std::vector<double>>& bucket = pool_[k];
+  if (bucket.size() >= kMaxPooledPerBucket) return;
+  ++stats_.recycles;
+  bucket.push_back(std::move(buf));
+  nonEmpty_ |= std::uint32_t{1} << k;
+}
+
+void PmfArena::recycle(DiscretePmf&& pmf) {
+  recycle(std::move(pmf.probs_));
+}
+
+void PmfArena::clear() {
+  for (auto& bucket : pool_) bucket.clear();
+  nonEmpty_ = 0;
+}
+
+std::size_t PmfArena::pooledBuffers() const {
+  std::size_t total = 0;
+  for (const auto& bucket : pool_) total += bucket.size();
+  return total;
+}
+
+PmfArena& PmfArena::local() {
+  thread_local PmfArena arena;
+  return arena;
+}
+
+}  // namespace hcs::prob

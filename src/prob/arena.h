@@ -1,0 +1,100 @@
+#pragma once
+// A recycling pool of probability buffers for the PMF hot path.
+//
+// Every Eq. 1 / Eq. 2 primitive used to heap-allocate a fresh
+// std::vector<double> per operation; on the scheduler's candidate loops that
+// is thousands of short-lived allocations per mapping event, all of roughly
+// the same few sizes.  A PmfArena keeps the buffers of dead PMFs and hands
+// their capacity back to the next operation, so a steady-state convolution
+// chain (acquire → compute → recycle the previous accumulator) performs no
+// heap allocation at all once the pool has warmed up.
+//
+// The pool is size-classed like an allocator's small-bin cache: recycled
+// buffers land in the bucket of their capacity's floor-log2, and acquire(n)
+// pops from the first bucket guaranteed to satisfy n (ceil-log2) — a pooled
+// hit therefore never reallocates, no matter how mixed the operation sizes
+// are (1-bin point masses next to 4096-bin tails).
+//
+// Arenas are deliberately NOT synchronized: each simulation trial runs on
+// one thread, so consumers reach their arena through the thread-local
+// PmfArena::local().  Buffers never migrate between threads.
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcs::prob {
+
+class DiscretePmf;
+
+/// Pool of probability buffers recycled across PMF operations.
+class PmfArena {
+ public:
+  /// Size-class buckets; bucket k holds buffers with capacity in
+  /// [2^k, 2^(k+1)).  2^(kBuckets-1) doubles comfortably covers the largest
+  /// convolution the PMF cap allows (kDefaultMaxBins plus slack).
+  static constexpr std::size_t kBuckets = 16;
+
+  /// Buffers kept per bucket; excess recycles free their memory.  Worst
+  /// case pooled footprint is dominated by the top bucket: a few MB per
+  /// thread, only ever reached if the workload actually used such sizes.
+  static constexpr std::size_t kMaxPooledPerBucket = 8;
+
+  PmfArena() = default;
+  PmfArena(const PmfArena&) = delete;
+  PmfArena& operator=(const PmfArena&) = delete;
+
+  /// A zero-filled buffer of `n` doubles.  A pooled hit reuses capacity and
+  /// never touches the heap; only an empty pool (or a size beyond every
+  /// pooled buffer) allocates.
+  std::vector<double> acquire(std::size_t n) { return acquire(n, 0.0); }
+
+  /// As above, filled with `fill` — consumers that want a sentinel other
+  /// than zero (e.g. the mapping context's -1 = unfilled memo slots) pay
+  /// one fill pass instead of two.
+  std::vector<double> acquire(std::size_t n, double fill);
+
+  /// Returns a buffer's capacity to the pool.
+  void recycle(std::vector<double>&& buf);
+
+  /// Reclaims the probability buffer of a PMF that is no longer needed.
+  void recycle(DiscretePmf&& pmf);
+
+  struct Stats {
+    std::uint64_t acquires = 0;     ///< total acquire() calls
+    std::uint64_t allocations = 0;  ///< acquires that touched the heap
+    std::uint64_t recycles = 0;     ///< buffers returned to the pool
+  };
+  const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = Stats{}; }
+
+  /// Drops all pooled buffers (frees their memory).
+  void clear();
+
+  std::size_t pooledBuffers() const;
+
+  /// The calling thread's arena.  Single-threaded consumers (machines, the
+  /// PCT cache, the scheduler's candidate loops) all share it, which is what
+  /// lets one mapping event's dead buffers feed the next one's kernels.
+  static PmfArena& local();
+
+ private:
+  /// Smallest bucket whose every buffer can hold `n` doubles.
+  static std::size_t bucketForRequest(std::size_t n) {
+    return n <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
+  }
+  /// Bucket a buffer of `capacity` doubles belongs to.
+  static std::size_t bucketForCapacity(std::size_t capacity) {
+    return static_cast<std::size_t>(std::bit_width(capacity)) - 1;
+  }
+
+  std::array<std::vector<std::vector<double>>, kBuckets> pool_;
+  /// Bit k set iff pool_[k] is non-empty: acquire() finds the first usable
+  /// bucket with one countr_zero instead of scanning sixteen vectors.
+  std::uint32_t nonEmpty_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hcs::prob

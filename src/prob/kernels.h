@@ -1,0 +1,103 @@
+#pragma once
+// Destination-passing kernels over the PMF bin layout.
+//
+// These are the Eq. 1 / Eq. 2 primitives of prob/pmf.h rewritten to (a) take
+// their output buffer from a PmfArena instead of the heap, and (b) run over
+// __restrict pointers with a fixed per-output-bin accumulation order, so the
+// compiler can auto-vectorize across bins while every result stays
+// byte-identical to the DiscretePmf member functions.  Consumers that chain
+// operations (machine tail rebuilds, the PCT cache's prefix chains, the
+// scheduler's candidate loops) recycle each dead intermediate back into the
+// arena, making the steady-state path allocation-free.
+//
+// Identity contracts (verified bin by bin by tests/kernels_test.cpp):
+//   convolveInto(arena, a, b, m)            == a.convolve(b, m)
+//   cappedInto(arena, a, m)                 == a.capped(m)
+//   conditionalRemainingInto(arena, a, e, s) == a.conditionalRemaining(e)
+//                                               .shifted(s)
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prob/arena.h"
+#include "prob/pmf.h"
+
+namespace hcs::prob {
+
+namespace kernels {
+
+/// Adds the discrete convolution of (a, na) and (b, nb) into `out`, which
+/// must hold `nout` pre-zeroed bins with nout <= na + nb - 1; contributions
+/// to bins at or past nout-1 fold into out[nout-1].  For every output bin
+/// the contributions a[i]*b[k-i] are accumulated in ascending i (and, for
+/// the fold bin, ascending (i, j)) — the exact order of the original scalar
+/// loop, so results are bit-identical while the in-range inner loop is a
+/// clean `out[i + j] += a[i] * b[j]` the compiler vectorizes across bins.
+void convolveAdd(const double* __restrict a, std::size_t na,
+                 const double* __restrict b, std::size_t nb,
+                 double* __restrict out, std::size_t nout);
+
+/// Zero padding convolveAddTiled() requires on BOTH sides of operand b
+/// (in doubles): bPadded must point at the first real b value inside a
+/// buffer laid out as [kConvolvePad zeros][b...][kConvolvePad zeros].
+inline constexpr std::size_t kConvolvePad = 31;
+
+/// Uncapped convolution (nout must equal na + nb - 1) with the per-output-
+/// bin accumulation order held entirely in registers: each output bin's sum
+/// Σ_i a[i]·b[k-i] is accumulated in ascending i — the identical order (and
+/// therefore identical bits) as convolveAdd — but a register tile covers a
+/// block of adjacent bins, so the compiler vectorizes ACROSS bins with no
+/// load/store of `out` inside the loop.  The axpy form above is limited by
+/// store-to-load forwarding between overlapping dst vectors; this form has
+/// no memory dependence at all.  Out-of-range b terms read the zero padding
+/// and contribute exact +0.0, which leaves every accumulator bit-unchanged.
+/// `out` is overwritten (not accumulated into).
+///
+/// Returns the total mass Σ_k out[k], accumulated strictly in ascending k —
+/// the exact value normalization's own scan would produce — computed as a
+/// byproduct: the serial FP sum chain overlaps the next block's independent
+/// convolution work instead of costing a dedicated O(n) latency chain.
+double convolveAddTiled(const double* __restrict a, std::size_t na,
+                        const double* __restrict bPadded, std::size_t nb,
+                        double* __restrict out, std::size_t nout);
+
+}  // namespace kernels
+
+/// a.convolve(b, maxBins) with the result buffer drawn from `arena`.
+DiscretePmf convolveInto(PmfArena& arena, const DiscretePmf& a,
+                         const DiscretePmf& b,
+                         std::size_t maxBins = DiscretePmf::kDefaultMaxBins);
+
+/// acc = acc ⊛ b with the dead accumulator's buffer recycled into `arena`:
+/// the steady-state step of Eq. 1 chains, allocation-free once warm.
+void convolveInPlace(PmfArena& arena, DiscretePmf& acc, const DiscretePmf& b,
+                     std::size_t maxBins = DiscretePmf::kDefaultMaxBins);
+
+/// a.capped(maxBins) with the result buffer drawn from `arena`.
+DiscretePmf cappedInto(PmfArena& arena, const DiscretePmf& a,
+                       std::size_t maxBins);
+
+/// A one-bin PMF with all mass on grid bin `bin` — identical to
+/// DiscretePmf(bin, {1.0}, binWidth) but with the buffer drawn from `arena`
+/// (the idle-machine availability point mass of Eq. 1 chains).
+DiscretePmf pointMassInto(PmfArena& arena, std::int64_t bin, double binWidth);
+
+/// a.conditionalRemaining(elapsed).shifted(shiftBins) in one step with the
+/// result buffer drawn from `arena`; `shiftBins` re-anchors the remaining
+/// distribution to absolute time without the intermediate copy.
+DiscretePmf conditionalRemainingInto(PmfArena& arena, const DiscretePmf& a,
+                                     double elapsed,
+                                     std::int64_t shiftBins = 0);
+
+/// Eq. 2 over a batch of completion-time distributions: element i is
+/// pcts[i]->successProbability(deadline), evaluated in one call so a
+/// mapping context can score every candidate machine's PCT against a
+/// task's deadline together.  Each PMF answers through its prefix-sum
+/// table when it has one; the batching is an API convenience (one
+/// result vector, one call site), not a fused kernel.
+std::vector<double> successProbabilityBatch(
+    std::span<const DiscretePmf* const> pcts, double deadline);
+
+}  // namespace hcs::prob

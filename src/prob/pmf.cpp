@@ -2,12 +2,76 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "prob/arena.h"
+#include "prob/kernels.h"
 #include "prob/rng.h"
 
 namespace hcs::prob {
+
+namespace detail {
+
+// Destruction, moves, and copy-assignment all require the owning PMF to be
+// exclusively held (no reader may be mid-query on an object being mutated or
+// destroyed), so they use relaxed plain loads/stores — on x86 these compile
+// to ordinary moves, keeping PMF moves as cheap as before the cache existed.
+// Only the concurrent build/publish pair (ensure/get) needs acquire/release.
+
+CdfCache::~CdfCache() { delete table_.load(std::memory_order_relaxed); }
+
+CdfCache::CdfCache(CdfCache&& other) noexcept
+    : table_(other.table_.load(std::memory_order_relaxed)) {
+  other.table_.store(nullptr, std::memory_order_relaxed);
+}
+
+CdfCache& CdfCache::operator=(const CdfCache& other) noexcept {
+  // The owning PMF's distribution is about to change: drop the stale table.
+  if (this != &other) invalidate();
+  return *this;
+}
+
+CdfCache& CdfCache::operator=(CdfCache&& other) noexcept {
+  if (this != &other) {
+    delete table_.load(std::memory_order_relaxed);
+    table_.store(other.table_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    other.table_.store(nullptr, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void CdfCache::invalidate() {
+  delete table_.load(std::memory_order_relaxed);
+  table_.store(nullptr, std::memory_order_relaxed);
+}
+
+const std::vector<double>& CdfCache::ensure(
+    std::span<const double> probs) const {
+  if (const std::vector<double>* existing =
+          table_.load(std::memory_order_acquire)) {
+    return *existing;
+  }
+  auto* fresh = new std::vector<double>(probs.size() + 1);
+  (*fresh)[0] = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    (*fresh)[i + 1] = (*fresh)[i] + probs[i];
+  }
+  const std::vector<double>* expected = nullptr;
+  if (table_.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *fresh;
+  }
+  // Another thread published first; both tables are identical (the build is
+  // deterministic over the same immutable probs).
+  delete fresh;
+  return *expected;
+}
+
+}  // namespace detail
 
 DiscretePmf::DiscretePmf(std::int64_t firstBin, std::vector<double> probs,
                          double binWidth)
@@ -32,19 +96,40 @@ DiscretePmf::DiscretePmf(Internal, std::int64_t firstBin,
   trimAndNormalize();
 }
 
+DiscretePmf::DiscretePmf(Internal, std::int64_t firstBin,
+                         std::vector<double> probs, double binWidth,
+                         double total)
+    : first_(firstBin), probs_(std::move(probs)), width_(binWidth) {
+  trimAndNormalize(total);
+}
+
 void DiscretePmf::trimAndNormalize() {
-  auto isPositive = [](double p) { return p > 0.0; };
-  auto head = std::find_if(probs_.begin(), probs_.end(), isPositive);
-  if (head == probs_.end()) {
+  // One pass finds the trim bounds and the total mass; the normalize pass
+  // then writes each kept bin, already divided, straight into its final
+  // slot — no erase() shifts and no second accumulate.  Summing the whole
+  // buffer yields bit-identical accumulator values to summing the trimmed
+  // range: the out-of-range entries are exact zeros, and adding +0.0 to a
+  // non-negative accumulator is an identity.
+  const std::size_t n = probs_.size();
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += probs_[i];
+  trimAndNormalize(total);
+}
+
+void DiscretePmf::trimAndNormalize(double total) {
+  const std::size_t n = probs_.size();
+  std::size_t head = 0;
+  while (head < n && !(probs_[head] > 0.0)) ++head;
+  if (head == n) {
     throw std::invalid_argument("DiscretePmf: total mass is zero");
   }
-  auto tail = std::find_if(probs_.rbegin(), probs_.rend(), isPositive).base();
-  first_ += std::distance(probs_.begin(), head);
-  probs_.erase(tail, probs_.end());
-  probs_.erase(probs_.begin(), head);
-
-  const double total = std::accumulate(probs_.begin(), probs_.end(), 0.0);
-  for (double& p : probs_) p /= total;
+  std::size_t tail = n - 1;
+  while (!(probs_[tail] > 0.0)) --tail;
+  for (std::size_t i = head; i <= tail; ++i) {
+    probs_[i - head] = probs_[i] / total;
+  }
+  probs_.resize(tail - head + 1);
+  first_ += static_cast<std::int64_t>(head);
 }
 
 DiscretePmf DiscretePmf::pointMass(double time, double binWidth) {
@@ -106,6 +191,27 @@ double DiscretePmf::cdfShiftedBy(std::int64_t bins, double t) const {
   // Tiny tolerance so a deadline exactly on a grid point includes that bin
   // despite floating-point drift.
   const double cutoff = t + width_ * 1e-6;
+  if (const std::vector<double>* table = cdf_.get()) {
+    // Binary search for the first bin at or past the cutoff.  Bin time is
+    // weakly monotone in the bin index (multiplying by a positive width
+    // preserves order under rounding), so the found index equals the linear
+    // scan's break point, and table[idx] is that scan's exact accumulator
+    // after idx additions.
+    std::size_t lo = 0;
+    std::size_t hi = probs_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const double timeAtBin =
+          static_cast<double>(first_ + bins + static_cast<std::int64_t>(mid)) *
+          width_;
+      if (timeAtBin >= cutoff) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return std::min((*table)[lo], 1.0);
+  }
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {
     const double timeAtBin =
@@ -121,6 +227,21 @@ double DiscretePmf::quantile(double p) const {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("quantile: p outside [0,1]");
   }
+  if (const std::vector<double>* table = cdf_.get()) {
+    // First index whose running total reaches p; the totals are
+    // non-decreasing, so the predicate is monotone.
+    std::size_t lo = 0;
+    std::size_t hi = probs_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if ((*table)[mid + 1] + kMassTolerance >= p) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo < probs_.size() ? timeAt(lo) : maxTime();
+  }
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {
     acc += probs_[i];
@@ -131,35 +252,9 @@ double DiscretePmf::quantile(double p) const {
 
 DiscretePmf DiscretePmf::convolve(const DiscretePmf& other,
                                   std::size_t maxBins) const {
-  if (std::abs(width_ - other.width_) > 1e-12) {
-    throw std::invalid_argument("convolve: mismatched bin widths");
-  }
-  const std::size_t fullSize = probs_.size() + other.probs_.size() - 1;
-  const std::size_t outSize = std::min(fullSize, std::max<std::size_t>(maxBins, 1));
-  std::vector<double> out(outSize, 0.0);
-  if (outSize == fullSize) {
-    // No capping: k = i + j always lands in range.  Keeping the inner loop
-    // free of the clamp lets it vectorize; the accumulation order is
-    // unchanged, so results are bit-identical to the clamped loop.
-    for (std::size_t i = 0; i < probs_.size(); ++i) {
-      const double p = probs_[i];
-      if (p == 0.0) continue;
-      double* dst = out.data() + i;
-      const double* src = other.probs_.data();
-      for (std::size_t j = 0; j < other.probs_.size(); ++j) {
-        dst[j] += p * src[j];
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < probs_.size(); ++i) {
-      if (probs_[i] == 0.0) continue;
-      for (std::size_t j = 0; j < other.probs_.size(); ++j) {
-        const std::size_t k = std::min(i + j, outSize - 1);
-        out[k] += probs_[i] * other.probs_[j];
-      }
-    }
-  }
-  return DiscretePmf(Internal{}, first_ + other.first_, std::move(out), width_);
+  // One code path with the destination-passing kernel; the thread's arena
+  // supplies the output buffer (and the tiled kernel's scratch).
+  return convolveInto(PmfArena::local(), *this, other, maxBins);
 }
 
 DiscretePmf DiscretePmf::shifted(std::int64_t bins) const {
@@ -239,6 +334,21 @@ DiscretePmf DiscretePmf::capped(std::size_t maxBins) const {
 
 double DiscretePmf::sample(Rng& rng) const {
   const double u = rng.uniform01();
+  if (const std::vector<double>* table = cdf_.get()) {
+    // First bin whose running total reaches u — identical to the linear
+    // scan's first hit because the totals are its exact accumulators.
+    std::size_t lo = 0;
+    std::size_t hi = probs_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (u <= (*table)[mid + 1]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo < probs_.size() ? timeAt(lo) : maxTime();
+  }
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {
     acc += probs_[i];

@@ -12,7 +12,11 @@
 // offset `first()` and width `w` carries probability `prob(i)` at time
 // `(first() + i) * w`.  Point-mass semantics make convolution exact:
 // mass at time a convolved with mass at time b lands at time a + b.
+// The bin probabilities live in one contiguous double array; an optional
+// prefix-sum table (see ensureCdfCache) rides alongside for O(log n) CDF
+// queries.  The hot-path kernels over this layout are in prob/kernels.h.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -22,6 +26,48 @@
 namespace hcs::prob {
 
 class Rng;
+class PmfArena;
+
+namespace detail {
+
+struct PmfKernelAccess;
+
+/// Lazily built prefix-sum table for O(log n) CDF queries, attached to an
+/// immutable PMF.  table()[i] is the mass of the first i bins accumulated
+/// left to right — the exact value a linear scan's accumulator holds after
+/// i additions — so binary searches over it reproduce the linear scans bit
+/// for bit.
+///
+/// Built at most once per PMF (PMFs are immutable after construction);
+/// publication is an atomic pointer CAS so concurrent readers of a shared
+/// PMF (e.g. parallel trials querying one PET matrix) may race to build
+/// without ever observing a torn table.  Copies do not inherit the table —
+/// they rebuild on demand — which keeps PMF copies as cheap as before the
+/// cache existed.
+class CdfCache {
+ public:
+  CdfCache() = default;
+  ~CdfCache();
+  CdfCache(const CdfCache&) noexcept {}
+  CdfCache(CdfCache&& other) noexcept;
+  CdfCache& operator=(const CdfCache& other) noexcept;
+  CdfCache& operator=(CdfCache&& other) noexcept;
+
+  /// The table, or nullptr when not built yet.
+  const std::vector<double>* get() const {
+    return table_.load(std::memory_order_acquire);
+  }
+
+  /// Builds (at most once) and returns the table for `probs`.
+  const std::vector<double>& ensure(std::span<const double> probs) const;
+
+  void invalidate();
+
+ private:
+  mutable std::atomic<const std::vector<double>*> table_{nullptr};
+};
+
+}  // namespace detail
 
 /// A probability mass function over a uniform time grid.
 ///
@@ -96,6 +142,21 @@ class DiscretePmf {
   /// Smallest grid time t with P[X <= t] >= p.
   double quantile(double p) const;
 
+  /// Builds the prefix-sum CDF table (idempotent, thread-safe).  With the
+  /// table in place, cdf/cdfShiftedBy/quantile/sample answer in O(log n)
+  /// binary searches instead of O(n) scans — bit-identically, because the
+  /// table entries are the linear scans' exact intermediate accumulators.
+  /// PMFs queried once are better off without it (the build is itself one
+  /// O(n) pass plus an allocation), so the table is built only on request,
+  /// for long-lived, repeatedly queried PMFs: PET matrix entries build it
+  /// at construction (their CDFs and inverse-CDF samples run for the whole
+  /// experiment), while the PCT cache's short-lived memo entries measure
+  /// faster without it.
+  void ensureCdfCache() const { cdf_.ensure(probs_); }
+
+  /// Whether the prefix-sum table has been built (for tests/benchmarks).
+  bool hasCdfCache() const { return cdf_.get() != nullptr; }
+
   // --- Transformations (all return new PMFs) --------------------------------
 
   /// Convolution (Eq. 1): distribution of the sum of two independent
@@ -137,7 +198,12 @@ class DiscretePmf {
   /// Draws a concrete time from this PMF (inverse-CDF on the grid).
   double sample(Rng& rng) const;
 
-  bool operator==(const DiscretePmf& other) const = default;
+  /// Distributions are equal when their supports and probabilities match;
+  /// the lazily built CDF table is derived state and does not participate.
+  bool operator==(const DiscretePmf& other) const {
+    return first_ == other.first_ && width_ == other.width_ &&
+           probs_ == other.probs_;
+  }
 
  private:
   /// Tag for internally produced probability vectors (convolutions, slices
@@ -146,12 +212,25 @@ class DiscretePmf {
   struct Internal {};
   DiscretePmf(Internal, std::int64_t firstBin, std::vector<double> probs,
               double binWidth);
+  /// As above with the total mass already known — kernels that compute the
+  /// ascending-index sum as a byproduct (convolveAddTiled) hand it over so
+  /// normalization skips its own serial scan.  `total` must equal the
+  /// ascending-index accumulation over `probs` bit for bit.
+  DiscretePmf(Internal, std::int64_t firstBin, std::vector<double> probs,
+              double binWidth, double total);
 
   void trimAndNormalize();
+  void trimAndNormalize(double total);
+
+  /// The destination-passing kernels (prob/kernels.cpp) build PMFs straight
+  /// from arena buffers; the arena reclaims dead PMFs' buffers.
+  friend struct detail::PmfKernelAccess;
+  friend class PmfArena;
 
   std::int64_t first_ = 0;
   std::vector<double> probs_;
   double width_ = 1.0;
+  detail::CdfCache cdf_;
 };
 
 }  // namespace hcs::prob

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "prob/arena.h"
+#include "prob/kernels.h"
+
 namespace hcs::sim {
 
 Machine::Machine(MachineId id, double binWidth, bool trackTail,
@@ -23,15 +26,16 @@ std::int64_t Machine::binAt(Time t) const {
 
 prob::DiscretePmf Machine::availabilityPct(Time now, const TaskPool& pool,
                                            const ExecutionModel& model) const {
+  prob::PmfArena& arena = prob::PmfArena::local();
   if (!busy()) {
-    return prob::DiscretePmf(binAt(now), {1.0}, binWidth_);
+    return prob::pointMassInto(arena, binAt(now), binWidth_);
   }
   // Remaining time of the running task, conditioned on the time it has
-  // already executed, re-anchored to absolute time.
+  // already executed, re-anchored to absolute time (the shift rides along in
+  // the kernel call — no intermediate relative-grid PMF is materialized).
   const Task& task = pool[running_];
-  const prob::DiscretePmf remaining =
-      model.pet(task.type, id_).conditionalRemaining(now - runStart_);
-  return remaining.shifted(binAt(now));
+  return prob::conditionalRemainingInto(arena, model.pet(task.type, id_),
+                                        now - runStart_, binAt(now));
 }
 
 std::pair<std::int64_t, std::int64_t> Machine::availabilityBounds(
@@ -50,23 +54,63 @@ prob::DiscretePmf Machine::tailPct(Time now, const TaskPool& pool,
   if (tail_.has_value()) return *tail_;
   if (empty()) return availabilityPct(now, pool, model);
   // Tail tracking is off: derive the tail from the full chain on demand.
+  prob::PmfArena& arena = prob::PmfArena::local();
   prob::DiscretePmf acc = availabilityPct(now, pool, model);
   for (TaskId id : queue_) {
-    acc = acc.convolve(model.pet(pool[id].type, id_));
+    prob::convolveInPlace(arena, acc, model.pet(pool[id].type, id_));
   }
   return acc;
+}
+
+const prob::DiscretePmf& Machine::tailPctRef(Time now, const TaskPool& pool,
+                                             const ExecutionModel& model) const {
+  if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
+  if (!tail_.has_value()) {
+    throw std::logic_error("tailPctRef: Eq. 1 tail is not tracked");
+  }
+  (void)now;
+  return *tail_;
+}
+
+std::pair<std::int64_t, std::int64_t> Machine::tailBounds(
+    Time now, const TaskPool& pool, const ExecutionModel& model) const {
+  if (tail_.has_value() && !tailDirty_) {
+    return {tail_->firstBin(), tail_->lastBin()};
+  }
+  // No materialized tail (tracking off, machine empty, or a lazy rebuild
+  // pending): derive the interval from the chain's factors.  A dirty tail
+  // would be rebuilt at the mutation time, so anchor there — the result
+  // brackets exactly what tailPct() would materialize.
+  const Time anchor = tailDirty_ ? tailDirtyAt_ : now;
+  auto [lo, hi] = availabilityBounds(anchor, pool, model);
+  for (TaskId id : queue_) {
+    const prob::DiscretePmf& pet = model.pet(pool[id].type, id_);
+    lo += pet.firstBin();
+    hi += pet.lastBin();
+  }
+  return {lo, hi};
 }
 
 std::vector<prob::DiscretePmf> Machine::chainPcts(
     Time now, const TaskPool& pool, const ExecutionModel& model) const {
   std::vector<prob::DiscretePmf> chain;
   if (empty()) return chain;
-  prob::DiscretePmf acc = availabilityPct(now, pool, model);
-  if (busy()) chain.push_back(acc);
-  for (TaskId id : queue_) {
-    acc = acc.convolve(model.pet(pool[id].type, id_));
-    chain.push_back(acc);
+  prob::PmfArena& arena = prob::PmfArena::local();
+  prob::DiscretePmf avail = availabilityPct(now, pool, model);
+  chain.reserve(queue_.size() + (busy() ? 1u : 0u));
+  const prob::DiscretePmf* prev;
+  if (busy()) {
+    chain.push_back(std::move(avail));
+    prev = &chain.back();
+  } else {
+    prev = &avail;
   }
+  for (TaskId id : queue_) {
+    chain.push_back(
+        prob::convolveInto(arena, *prev, model.pet(pool[id].type, id_)));
+    prev = &chain.back();
+  }
+  if (!busy()) arena.recycle(std::move(avail));
   return chain;
 }
 
@@ -75,9 +119,10 @@ Time Machine::expectedReady(Time now, const TaskPool& pool,
   Time ready = now;
   if (busy()) {
     const Task& task = pool[running_];
+    // The closed-form mean mirrors conditionalRemaining().mean() bit for
+    // bit without materializing the remaining-time PMF.
     ready += model.pet(task.type, id_)
-                 .conditionalRemaining(now - runStart_)
-                 .mean();
+                 .conditionalRemainingMean(now - runStart_);
   }
   for (TaskId id : queue_) ready += model.expectedExec(pool[id].type, id_);
   return ready;
@@ -87,7 +132,10 @@ void Machine::tailChanged(Time now, const TaskPool& pool,
                           const ExecutionModel& model) {
   ++epoch_;
   if (empty() || !trackTail_) {
-    tail_.reset();
+    if (tail_.has_value()) {
+      prob::PmfArena::local().recycle(std::move(*tail_));
+      tail_.reset();
+    }
     tailDirty_ = false;
     return;
   }
@@ -102,13 +150,15 @@ void Machine::tailChanged(Time now, const TaskPool& pool,
 void Machine::rebuildTail(Time now, const TaskPool& pool,
                           const ExecutionModel& model) const {
   tailDirty_ = false;
-  if (empty() || !trackTail_) {
+  prob::PmfArena& arena = prob::PmfArena::local();
+  if (tail_.has_value()) {
+    arena.recycle(std::move(*tail_));
     tail_.reset();
-    return;
   }
+  if (empty() || !trackTail_) return;
   prob::DiscretePmf acc = availabilityPct(now, pool, model);
   for (TaskId id : queue_) {
-    acc = acc.convolve(model.pet(pool[id].type, id_));
+    prob::convolveInPlace(arena, acc, model.pet(pool[id].type, id_));
   }
   tail_ = std::move(acc);
 }
@@ -130,9 +180,20 @@ bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
   ++epoch_;
   if (trackTail_) {
     // Eq. 1: the new task's PCT extends the current tail by one convolution.
-    tail_ = newTail != nullptr
-                ? *newTail
-                : tailPct(now, pool, model).convolve(model.pet(t.type, id_));
+    prob::PmfArena& arena = prob::PmfArena::local();
+    prob::DiscretePmf next = [&]() -> prob::DiscretePmf {
+      if (newTail != nullptr) return *newTail;
+      if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
+      const prob::DiscretePmf& pet = model.pet(t.type, id_);
+      if (tail_.has_value()) return prob::convolveInto(arena, *tail_, pet);
+      // No live tail (empty machine): start the chain from availability.
+      prob::DiscretePmf base = tailPct(now, pool, model);
+      prob::DiscretePmf out = prob::convolveInto(arena, base, pet);
+      arena.recycle(std::move(base));
+      return out;
+    }();
+    if (tail_.has_value()) arena.recycle(std::move(*tail_));
+    tail_ = std::move(next);
     tailDirty_ = false;
   }
   if (empty()) {

@@ -84,6 +84,24 @@ class Machine {
   prob::DiscretePmf tailPct(Time now, const TaskPool& pool,
                             const ExecutionModel& model) const;
 
+  /// The memoized Eq. 1 recursion state by reference, rebuilding it first if
+  /// a lazy invalidation is pending.  Requires tailTracked(); throws
+  /// std::logic_error otherwise.  The reference is valid until the next
+  /// mutation — read-only consumers (the PCT cache's append convolutions)
+  /// use it to skip tailPct()'s defensive copy.
+  const prob::DiscretePmf& tailPctRef(Time now, const TaskPool& pool,
+                                      const ExecutionModel& model) const;
+
+  /// Support bounds of tailPct(now): {lo, hi} with lo exactly
+  /// tailPct(now).firstBin() and hi >= tailPct(now).lastBin() (equal except
+  /// when convolution capping folded tail mass inward, where the interval
+  /// stays safely conservative).  Computed WITHOUT materializing a dirty
+  /// tail: additive interval arithmetic over the chain's factors — the O(q)
+  /// scalar query that lets chance-of-success comparisons skip the Eq. 1
+  /// convolution when the whole support sits on one side of the deadline.
+  std::pair<std::int64_t, std::int64_t> tailBounds(
+      Time now, const TaskPool& pool, const ExecutionModel& model) const;
+
   /// PCTs of every task currently on this machine, in order
   /// [running, queued...]; used when the pruner evaluates the chance of
   /// success of each queued task (Fig. 5, steps 4-5).

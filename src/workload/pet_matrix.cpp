@@ -26,6 +26,10 @@ PetMatrix::PetMatrix(std::vector<std::vector<prob::DiscretePmf>> pmfs)
       if (std::abs(pmf.binWidth() - width) > 1e-12) {
         throw std::invalid_argument("PetMatrix: mixed bin widths");
       }
+      // PETs are queried for the life of the experiment (Eq. 2 CDFs,
+      // inverse-CDF sampling on every task execution): build the prefix-sum
+      // tables once, up front, off every trial's hot path.
+      pmf.ensureCdfCache();
       rowMeans.push_back(pmf.mean());
     }
     typeMeans_.push_back(

@@ -105,6 +105,46 @@ TEST(MappingContextTest, SuccessChanceMatchesDirectConvolution) {
   EXPECT_NEAR(world.context().successChance(t, 0), 0.75, 1e-12);
 }
 
+TEST(MappingContextTest, SuccessChancesBatchMatchesPerMachineQueries) {
+  const FakeModel model = affinityModel();
+  TestWorld world(2, model);
+  world.preload(0, 0, 2);
+  world.preload(1, 1, 1);
+  const TaskId t = world.addTask(0, 0.0, 9.0);
+  // With and without a PCT cache attached, the bulk query must agree
+  // exactly with the per-machine Eq. 2 evaluations.
+  const MappingContext plain = world.context();
+  const std::vector<double> bulk = plain.successChances(t);
+  ASSERT_EQ(bulk.size(), 2u);
+  for (MachineId j = 0; j < 2; ++j) {
+    EXPECT_EQ(bulk[static_cast<std::size_t>(j)], plain.successChance(t, j));
+  }
+  hcs::heuristics::PctCache cache;
+  const MappingContext cached(0.0, world.pool, world.machines, world.model,
+                              world.capacity, &cache);
+  const std::vector<double> bulkCached = cached.successChances(t);
+  ASSERT_EQ(bulkCached.size(), 2u);
+  for (MachineId j = 0; j < 2; ++j) {
+    EXPECT_EQ(bulkCached[static_cast<std::size_t>(j)],
+              bulk[static_cast<std::size_t>(j)]);
+  }
+}
+
+TEST(ImmediateHeuristicTest, MaxChancePicksTheHighestSuccessChance) {
+  const FakeModel model = affinityModel();
+  TestWorld world(2, model);
+  // Machine 0 is deeply loaded; a type-0 task with a tight deadline can
+  // only make it on the idle machine 1 (exec 6 <= 8) — MET would have
+  // chosen the overloaded machine 0 (exec 2).
+  world.preload(0, 0, 3);
+  const TaskId t = world.addTask(0, 0.0, 7.0);
+  hcs::heuristics::MaxChance mc;
+  const MappingContext ctx = world.context();
+  EXPECT_EQ(mc.selectMachine(ctx, t), 1);
+  const std::vector<double> chances = ctx.successChances(t);
+  EXPECT_GT(chances[1], chances[0]);
+}
+
 TEST(MappingContextTest, RejectsEmptyOrZeroCapacity) {
   const FakeModel model = affinityModel();
   TaskPool pool;

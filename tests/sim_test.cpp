@@ -326,6 +326,37 @@ TEST(MachinePctTest, StochasticTailMatchesEq1Convolution) {
   EXPECT_NEAR(tail.probs()[4], 0.25, 1e-12);
 }
 
+TEST(MachinePctTest, TailBoundsBracketTailPct) {
+  std::vector<std::vector<DiscretePmf>> pets;
+  pets.push_back({DiscretePmf(2, {0.5, 0.0, 0.5})});
+  const FakeModel model{std::move(pets)};
+  for (bool trackTail : {true, false}) {
+    TaskPool pool;
+    const auto a = pool.create(0, 0.0, 100.0);
+    const auto b = pool.create(0, 0.0, 100.0);
+    const auto c = pool.create(0, 0.0, 100.0);
+    Machine m(0, 1.0, trackTail);
+    // Empty machine: bounds collapse to the availability point mass.
+    EXPECT_EQ(m.tailBounds(3.0, pool, model),
+              (std::pair<std::int64_t, std::int64_t>{3, 3}));
+    m.dispatch(a, 0.0, pool, model);
+    m.dispatch(b, 0.0, pool, model);
+    m.dispatch(c, 0.0, pool, model);
+    const DiscretePmf tail = m.tailPct(0.0, pool, model);
+    auto [lo, hi] = m.tailBounds(0.0, pool, model);
+    EXPECT_EQ(lo, tail.firstBin());
+    EXPECT_EQ(hi, tail.lastBin());
+    // After a completion (dirty tail in the lazy regime), the bounds must
+    // still bracket what tailPct would materialize — without forcing the
+    // rebuild first.
+    m.completeRunning(2.0, pool, model);
+    auto [lo2, hi2] = m.tailBounds(2.0, pool, model);
+    const DiscretePmf rebuilt = m.tailPct(2.0, pool, model);
+    EXPECT_LE(lo2, rebuilt.firstBin());
+    EXPECT_GE(hi2, rebuilt.lastBin());
+  }
+}
+
 TEST(MachinePctTest, RunningTaskAvailabilityIsConditionedOnElapsed) {
   // Type 0: P(2)=0.5, P(4)=0.5.  At t=3 (3 units elapsed) the running task
   // can only be the 4-unit outcome: remaining = 1 unit, so the machine is

@@ -27,7 +27,7 @@ using namespace hcs;
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --heuristic NAME   RR|MET|MCT|KPB|MM|MSD|MMU|MaxMin|Sufferage|\n"
+      "  --heuristic NAME   RR|MET|MCT|KPB|MaxChance|MM|MSD|MMU|MaxMin|Sufferage|\n"
       "                     FCFS-RR|EDF|SJF            (default MM)\n"
       "  --rate N           paper-equivalent tasks (default 20000)\n"
       "  --pattern P        spiky|constant             (default spiky)\n"
