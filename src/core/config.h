@@ -57,6 +57,20 @@ struct SimulationConfig {
   /// saving and tests can compare both paths.
   bool pctCacheEnabled = true;
 
+  /// Drive mapping events through the incremental engine: one persistent
+  /// MappingContext per trial (epoch-validated ready/exec memos), delta
+  /// evaluation inside the two-phase batch heuristics, and the indexed
+  /// batch queue's O(1) removal/deferral.  Off = the reference engine
+  /// (fresh context and full re-evaluation every round, as Fig. 5 reads).
+  /// Reports are bit-identical either way; the knob exists so benches can
+  /// measure the saving and tests can compare both engines.
+  bool incrementalMappingEnabled = true;
+
+  /// Accumulate wall-clock time spent in the batch-mapping section of each
+  /// mapping event into TrialResult.mappingEngineSeconds (two clock reads
+  /// per event).  Off by default — for engine benchmarks only.
+  bool measureMappingEngine = false;
+
   /// Seed for sampling actual execution times.
   std::uint64_t executionSeed = 0x5eed;
 

@@ -1,7 +1,9 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <span>
 #include <optional>
 #include <stdexcept>
 #include <unordered_set>
@@ -90,17 +92,46 @@ heuristics::MappingContext Scheduler::makeContext(World& world,
                                     world.model, capacity, pctCache_.get());
 }
 
+void Scheduler::beginTrial(const World& world) {
+  trialPrepared_ = true;
+  // Sized once here instead of being re-checked by every scheduleCompletion.
+  if (completionSeq_.size() < world.machines.size()) {
+    completionSeq_.assign(world.machines.size(), 0);
+  }
+  if (config_.incrementalMappingEnabled && !ctx_.has_value() &&
+      !world.machines.empty()) {
+    const std::size_t capacity = mode_ == AllocationMode::Immediate
+                                     ? heuristics::MappingContext::kUnbounded
+                                     : config_.machineQueueCapacity;
+    ctx_.emplace(sim::Time{0}, world.pool, world.machines, world.model,
+                 capacity, pctCache_.get());
+    ctx_->enablePersistence();
+    if (mode_ == AllocationMode::Batch) {
+      ctx_->attachBatchQueue(&batchQueue_);
+    }
+  }
+}
+
 void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
+  if (!trialPrepared_) beginTrial(world);
   world.pool[task].status = sim::TaskStatus::Batched;
   emit(now, sim::TraceEventKind::Arrival, task);
   if (mode_ == AllocationMode::Batch) {
-    batchQueue_.push_back(task);
+    batchQueue_.push(task);
     mappingEvent(world, now);
     return;
   }
   // Immediate mode: the pruning passes still run at this mapping event,
   // then the mapper must place the arriving task right away.
   mappingEvent(world, now);
+  if (ctx_.has_value()) {
+    const sim::MachineId machine = immediate_->selectMachine(*ctx_, task);
+    if (machine < 0 || machine >= ctx_->numMachines()) {
+      throw std::logic_error("Scheduler: heuristic chose an invalid machine");
+    }
+    dispatch(world, task, machine, now);
+    return;
+  }
   const heuristics::MappingContext ctx = makeContext(world, now);
   const sim::MachineId machine = immediate_->selectMachine(ctx, task);
   if (machine < 0 || machine >= ctx.numMachines()) {
@@ -111,6 +142,7 @@ void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
 
 void Scheduler::handleCompletion(World& world, sim::MachineId machine,
                                  sim::TaskId task, sim::Time now) {
+  if (!trialPrepared_) beginTrial(world);
   sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
   if (m.runningTask() != task) {
     throw std::logic_error("Scheduler: completion for a non-running task");
@@ -137,6 +169,7 @@ void Scheduler::handleCompletion(World& world, sim::MachineId machine,
 
 void Scheduler::mappingEvent(World& world, sim::Time now) {
   ++mappingEvents_;
+  if (ctx_.has_value()) ctx_->rebind(now);
   if (config_.abortRunningAtDeadline) {
     abortOverdueRunning(world, now);
   }
@@ -154,7 +187,16 @@ void Scheduler::mappingEvent(World& world, sim::Time now) {
   // Steps 7-11: map, defer, dispatch (batch mode only; immediate mode's
   // placement happens in handleArrival right after this returns).
   if (mode_ == AllocationMode::Batch) {
-    runBatchMapping(world, now);
+    if (config_.measureMappingEngine) {
+      const auto start = std::chrono::steady_clock::now();
+      runBatchMapping(world, now);
+      engineNanos_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } else {
+      runBatchMapping(world, now);
+    }
   }
   // Machines left idle by a completion/abort now start the surviving head
   // of their queue.
@@ -196,12 +238,16 @@ void Scheduler::dropTask(World& world, sim::TaskId task, sim::Time now,
 }
 
 void Scheduler::reactiveDropPass(World& world, sim::Time now) {
-  // Batch (arrival) queue.
-  std::erase_if(batchQueue_, [&](sim::TaskId id) {
-    if (!world.pool[id].missedDeadline(now)) return false;
-    dropTask(world, id, now, sim::TaskStatus::DroppedReactive);
-    return true;
+  // Batch (arrival) queue: collect the overdue tasks, then drop them in
+  // arrival order (identical drop order to the old in-iteration erase).
+  overdueScratch_.clear();
+  batchQueue_.forEachLive([&](sim::TaskId id, std::uint64_t /*seq*/) {
+    if (world.pool[id].missedDeadline(now)) overdueScratch_.push_back(id);
   });
+  for (sim::TaskId id : overdueScratch_) {
+    batchQueue_.remove(id);
+    dropTask(world, id, now, sim::TaskStatus::DroppedReactive);
+  }
   // Machine queues (the running task is past saving only under the
   // abort-at-deadline policy, handled separately).  The overdue list is a
   // member scratch — this pass runs at every mapping event and is almost
@@ -232,7 +278,7 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
       prob::PmfArena& arena = prob::PmfArena::local();
       prob::DiscretePmf referenceAcc =
           m.availabilityPct(now, world.pool, world.model);
-      std::vector<sim::TaskId>& referenceDrop = overdueScratch_;
+      std::vector<sim::TaskId>& referenceDrop = proactiveDropScratch_;
       referenceDrop.clear();
       for (sim::TaskId id : m.queue()) {
         const sim::Task& t = world.pool[id];
@@ -274,7 +320,7 @@ void Scheduler::proactiveDropPass(World& world, sim::Time now) {
     std::vector<const prob::DiscretePmf*>& pending = pendingScratch_;
     pending.clear();
     bool droppedAny = false;
-    std::vector<sim::TaskId>& toDrop = overdueScratch_;
+    std::vector<sim::TaskId>& toDrop = proactiveDropScratch_;
     toDrop.clear();
     std::size_t idx = 0;
     for (sim::TaskId id : m.queue()) {
@@ -368,7 +414,89 @@ double Scheduler::deferChance(World& world,
   return ctx.successChance(a.task, a.machine);
 }
 
+bool Scheduler::anyFreeSlot(const World& world) const {
+  const std::size_t capacity = config_.machineQueueCapacity;
+  for (const sim::Machine& m : world.machines) {
+    if (m.queueLength() + (m.busy() ? 1u : 0u) < capacity) return true;
+  }
+  return false;
+}
+
+bool Scheduler::applyAssignments(
+    World& world, const std::vector<heuristics::Assignment>& assignments,
+    const heuristics::MappingContext& ctx, sim::Time now) {
+  bool dispatchedAny = false;
+  for (const heuristics::Assignment& a : assignments) {
+    const sim::Task& t = world.pool[a.task];
+    // Step 10: chance of success on the *live* machine state (earlier
+    // dispatches in this event are already reflected in the tail PCT).
+    // When the configuration can never defer, the chance is dead weight —
+    // skip its convolution outright.  Otherwise try to decide the defer
+    // comparison from support bounds alone (the same interval shortcut
+    // the proactive pass uses): when the whole candidate PCT support
+    // sits on one side of the deadline, the chance is exactly 0 or
+    // within the mass tolerance of 1 and the convolution never runs.
+    // Like the proactive pass, the shortcut belongs to the incremental
+    // machinery — the --no-pct-cache reference path recomputes the full
+    // chance per candidate, exactly as Fig. 5 reads.
+    const double chance = pruner_.deferUsesChance()
+                              ? deferChance(world, ctx, a, t, now)
+                              : 1.0;
+    if (pruner_.shouldDefer(t.type, chance, t.value)) {
+      // Step 10 defers "to the next mapping event": the task is out of the
+      // running for the rest of this one.
+      if (ctx.persistent()) {
+        batchQueue_.markDeferred(a.task);
+      } else {
+        deferredScratch_.insert(a.task);
+      }
+      ++world.pool[a.task].deferrals;
+      world.metrics.recordDeferral();
+      emit(now, sim::TraceEventKind::Deferred, a.task, a.machine);
+      continue;
+    }
+    dispatch(world, a.task, a.machine, now);
+    batchQueue_.remove(a.task);
+    dispatchedAny = true;
+  }
+  return dispatchedAny;
+}
+
 void Scheduler::runBatchMapping(World& world, sim::Time now) {
+  if (!ctx_.has_value()) {
+    runBatchMappingReference(world, now);
+    return;
+  }
+  // Incremental engine: deferral marks from the previous event expire in
+  // O(1), the candidate list comes straight off the indexed queue, and the
+  // free-slot guard skips the whole round — candidate rebuild, context
+  // queries, heuristic call — once the cluster is saturated, which in a
+  // burst is every mapping event after the first few.
+  batchQueue_.beginEvent();
+  const bool queueDirect = batch_->consumesBatchQueue();
+  while (!batchQueue_.empty()) {
+    if (!anyFreeSlot(world)) break;
+    std::span<const sim::TaskId> candidates;
+    if (!queueDirect) {
+      // Heuristics that ignore the indexed queue still get the span of
+      // live, non-deferred tasks in arrival order.
+      batchQueue_.liveCandidates(candidateScratch_);
+      if (candidateScratch_.empty()) break;
+      candidates = candidateScratch_;
+    }
+    const std::vector<heuristics::Assignment> assignments =
+        batch_->map(*ctx_, candidates);
+    if (assignments.empty()) break;  // nothing mappable (or all deferred)
+    if (!applyAssignments(world, assignments, *ctx_, now)) {
+      break;  // everything mappable was deferred
+    }
+  }
+}
+
+void Scheduler::runBatchMappingReference(World& world, sim::Time now) {
+  // Reference engine: fresh context and full two-phase re-evaluation every
+  // round, exactly as Fig. 5 reads.  Kept as the oracle the incremental
+  // engine is benchmarked and equivalence-tested against.
   std::unordered_set<sim::TaskId>& deferredThisEvent = deferredScratch_;
   deferredThisEvent.clear();
   while (!batchQueue_.empty()) {
@@ -377,45 +505,18 @@ void Scheduler::runBatchMapping(World& world, sim::Time now) {
     std::vector<sim::TaskId>& candidates = candidateScratch_;
     candidates.clear();
     candidates.reserve(batchQueue_.size());
-    for (sim::TaskId id : batchQueue_) {
+    batchQueue_.forEachLive([&](sim::TaskId id, std::uint64_t /*seq*/) {
       if (!deferredThisEvent.contains(id)) candidates.push_back(id);
-    }
+    });
     if (candidates.empty()) break;
 
     const heuristics::MappingContext ctx = makeContext(world, now);
     const std::vector<heuristics::Assignment> assignments =
         batch_->map(ctx, candidates);
     if (assignments.empty()) break;  // queues full or nothing mappable
-
-    bool dispatchedAny = false;
-    for (const heuristics::Assignment& a : assignments) {
-      const sim::Task& t = world.pool[a.task];
-      // Step 10: chance of success on the *live* machine state (earlier
-      // dispatches in this event are already reflected in the tail PCT).
-      // When the configuration can never defer, the chance is dead weight —
-      // skip its convolution outright.  Otherwise try to decide the defer
-      // comparison from support bounds alone (the same interval shortcut
-      // the proactive pass uses): when the whole candidate PCT support
-      // sits on one side of the deadline, the chance is exactly 0 or
-      // within the mass tolerance of 1 and the convolution never runs.
-      // Like the proactive pass, the shortcut belongs to the incremental
-      // machinery — the --no-pct-cache reference path recomputes the full
-      // chance per candidate, exactly as Fig. 5 reads.
-      const double chance = pruner_.deferUsesChance()
-                                ? deferChance(world, ctx, a, t, now)
-                                : 1.0;
-      if (pruner_.shouldDefer(t.type, chance, t.value)) {
-        deferredThisEvent.insert(a.task);
-        ++world.pool[a.task].deferrals;
-        world.metrics.recordDeferral();
-        emit(now, sim::TraceEventKind::Deferred, a.task, a.machine);
-        continue;
-      }
-      dispatch(world, a.task, a.machine, now);
-      std::erase(batchQueue_, a.task);
-      dispatchedAny = true;
+    if (!applyAssignments(world, assignments, ctx, now)) {
+      break;  // everything mappable was deferred
     }
-    if (!dispatchedAny) break;  // everything mappable was deferred
   }
 }
 
@@ -423,17 +524,27 @@ void Scheduler::dispatch(World& world, sim::TaskId task, sim::MachineId machine,
                          sim::Time now) {
   sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
   emit(now, sim::TraceEventKind::Dispatched, task, machine);
-  // The cache either just computed tailPct ⊛ PET for the deferring check or
-  // computes it now; either way the machine's Eq. 1 update reuses it
-  // instead of convolving again.
+  // When the deferring check reads chances, the cache either just computed
+  // tailPct ⊛ PET for it or computes it now; either way the machine's
+  // Eq. 1 update reuses it instead of convolving again.  When no deferring
+  // check can ever read a chance, skip the append outright — the machine
+  // queues the PET as a lazy pending append that only materializes if some
+  // consumer actually reads the tail (in the no-defer configurations,
+  // typically never).
   std::optional<prob::DiscretePmf> newTail;
-  if (pctCache_ != nullptr && m.tracksTail()) {
-    newTail = pctCache_->appendPct(m, now, world.pool, world.model,
-                                   world.pool[task].type);
+  const std::uint64_t preEpoch = m.queueEpoch();
+  if (pctCache_ != nullptr && m.tracksTail() && pruner_.deferUsesChance()) {
+    newTail = pctCache_->peekAppendPct(m, now, world.pool[task].type);
   }
   const bool started =
       m.dispatch(task, now, world.pool, world.model,
                  newTail.has_value() ? &*newTail : nullptr);
+  if (!started && pctCache_ != nullptr) {
+    // The dispatch appended to the queue: extend the memoized proactive
+    // chain by one convolution instead of rebuilding it at the next pass.
+    pctCache_->noteAppend(m, now, world.pool, world.model,
+                          world.pool[task].type, preEpoch);
+  }
   if (started) {
     emit(now, sim::TraceEventKind::Started, task, machine);
     scheduleCompletion(world, machine, task, now);
@@ -444,9 +555,7 @@ void Scheduler::scheduleCompletion(World& world, sim::MachineId machine,
                                    sim::TaskId task, sim::Time now) {
   const sim::Task& t = world.pool[task];
   const double exec = world.model.pet(t.type, machine).sample(world.execRng);
-  if (completionSeq_.size() < world.machines.size()) {
-    completionSeq_.resize(world.machines.size(), 0);
-  }
+  // completionSeq_ was sized by beginTrial — no per-completion size check.
   completionSeq_[static_cast<std::size_t>(machine)] = world.events.nextSeq();
   world.events.push(now + exec, sim::EventKind::TaskCompletion, task, machine);
 }
@@ -471,12 +580,12 @@ void Scheduler::finalize(World& world, sim::Time now) {
   // Tasks still in the batch queue when the trial drains can never run:
   // count overdue ones as reactive drops, the rest as proactive (they were
   // deferred until the system went idle).
-  for (sim::TaskId id : batchQueue_) {
+  batchQueue_.forEachLive([&](sim::TaskId id, std::uint64_t /*seq*/) {
     const bool overdue = world.pool[id].missedDeadline(now);
     dropTask(world, id, now,
              overdue ? sim::TaskStatus::DroppedReactive
                      : sim::TaskStatus::DroppedProactive);
-  }
+  });
   batchQueue_.clear();
 }
 

@@ -2,8 +2,24 @@
 // The resource-allocation system (Fig. 1c): a mapping heuristic with the
 // pruning mechanism attached.  Implements the per-mapping-event procedure of
 // Fig. 5 against the simulator substrate.
+//
+// Two mapping-event engines share this class (SimulationConfig.
+// incrementalMappingEnabled):
+//
+//  - The incremental engine keeps one MappingContext alive for the whole
+//    trial (ready/exec memos invalidated per machine by queue epochs), lets
+//    the two-phase batch heuristics delta-evaluate across rounds, and runs
+//    the arrival queue through BatchQueue's O(1) removal/deferral.  Per-
+//    event work is proportional to what a dispatch actually touched.
+//  - The reference engine rebuilds a throwaway context and re-evaluates the
+//    full O(batch × machines) two-phase process every round, exactly as the
+//    paper's Fig. 5 pseudo-code reads.
+//
+// Both produce bit-identical experiment reports; the reference engine is
+// the oracle the incremental one is tested against.
 
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -13,6 +29,7 @@
 #include "prob/rng.h"
 #include "pruning/accounting.h"
 #include "pruning/pruner.h"
+#include "sim/batch_queue.h"
 #include "sim/event_queue.h"
 #include "sim/machine.h"
 #include "sim/metrics.h"
@@ -44,6 +61,15 @@ class Scheduler {
   const heuristics::PctCache* pctCache() const { return pctCache_.get(); }
   std::size_t mappingEvents() const { return mappingEvents_; }
   std::size_t batchQueueLength() const { return batchQueue_.size(); }
+  /// Accumulated batch-mapping wall clock (measureMappingEngine only).
+  std::uint64_t mappingEngineNanos() const { return engineNanos_; }
+
+  /// Per-trial setup against the world the scheduler will run in: sizes the
+  /// completion-sequence table once (instead of re-checking on every
+  /// completion) and, for the incremental engine, anchors the persistent
+  /// mapping context.  Called by Simulation::run; the event handlers also
+  /// self-prepare on first use so a hand-built World needs no ceremony.
+  void beginTrial(const World& world);
 
   /// A new task entered the system.  Immediate mode maps it on the spot;
   /// batch mode adds it to the arrival queue and runs a mapping event.
@@ -55,8 +81,9 @@ class Scheduler {
                         sim::Time now);
 
   /// Drains bookkeeping after the last event (e.g. tasks still waiting in
-  /// the batch queue when the trial ends count as reactive drops: they can
-  /// no longer meet any deadline in a finished trial).
+  /// the batch queue when the trial ends count as reactive drops if they
+  /// are overdue and proactive drops otherwise: they can no longer meet any
+  /// deadline in a finished trial).
   void finalize(World& world, sim::Time now);
 
  private:
@@ -64,6 +91,13 @@ class Scheduler {
   void reactiveDropPass(World& world, sim::Time now);       // step 1
   void proactiveDropPass(World& world, sim::Time now);      // steps 4-6
   void runBatchMapping(World& world, sim::Time now);        // steps 7-11
+  void runBatchMappingReference(World& world, sim::Time now);
+
+  /// Maps one round's assignments to dispatch/defer decisions (steps 10-11
+  /// shared by both engines).  Returns true if anything was dispatched.
+  bool applyAssignments(World& world,
+                        const std::vector<heuristics::Assignment>& assignments,
+                        const heuristics::MappingContext& ctx, sim::Time now);
 
   /// Chance of success for the step-10 deferring check: decided from the
   /// candidate PCT's support bounds when possible (identical decision,
@@ -82,6 +116,12 @@ class Scheduler {
                           sim::TaskId task, sim::Time now);
   void abortOverdueRunning(World& world, sim::Time now);
 
+  /// True when some machine still has a free queue slot — the O(machines)
+  /// guard that lets the incremental engine skip a whole mapping round
+  /// (candidate rebuild + heuristic call) once the cluster is saturated,
+  /// the common case in a burst.
+  bool anyFreeSlot(const World& world) const;
+
   heuristics::MappingContext makeContext(World& world, sim::Time now) const;
   void emit(sim::Time time, sim::TraceEventKind kind, sim::TaskId task,
             sim::MachineId machine = sim::kInvalidMachine) const;
@@ -93,18 +133,28 @@ class Scheduler {
   std::unique_ptr<heuristics::PctCache> pctCache_;
   pruning::Accounting accounting_;
   pruning::Pruner pruner_;
-  std::vector<sim::TaskId> batchQueue_;
-  /// Pending completion-event sequence number per machine (for aborts).
+  sim::BatchQueue batchQueue_;
+  /// The incremental engine's trial-lifetime context (nullopt until
+  /// beginTrial, and always nullopt for the reference engine).
+  std::optional<heuristics::MappingContext> ctx_;
+  bool trialPrepared_ = false;
+  /// Pending completion-event sequence number per machine (for aborts);
+  /// sized once per trial in beginTrial.
   std::vector<std::uint64_t> completionSeq_;
-  /// Reusable drop-candidate list shared by the reactive and proactive
-  /// passes (their uses never overlap; usually empty).
+  /// Reusable drop-candidate list for the reactive pass (runs at every
+  /// mapping event and is almost always empty).
   std::vector<sim::TaskId> overdueScratch_;
+  /// Drop-candidate list for the proactive pass — its own buffer, not an
+  /// alias of overdueScratch_, so the two passes can never trample each
+  /// other through a shared name.
+  std::vector<sim::TaskId> proactiveDropScratch_;
   /// Reusable kept-PET list for the proactive pass's incremental chain.
   std::vector<const prob::DiscretePmf*> pendingScratch_;
-  /// Reusable per-event working sets for runBatchMapping.
+  /// Reusable per-event working sets for the batch-mapping loop.
   std::vector<sim::TaskId> candidateScratch_;
   std::unordered_set<sim::TaskId> deferredScratch_;
   std::size_t mappingEvents_ = 0;
+  std::uint64_t engineNanos_ = 0;
 };
 
 }  // namespace hcs::core

@@ -39,6 +39,7 @@ TrialResult Simulation::run() {
 
   Scheduler scheduler(config_, model_.numTaskTypes());
   World world{pool, machines, events, metrics, execRng, model_};
+  scheduler.beginTrial(world);
 
   sim::Time now = 0;
   while (auto event = events.tryPop()) {
@@ -63,6 +64,8 @@ TrialResult Simulation::run() {
   result.robustnessPercent = result.metrics.robustnessPercent();
   result.makespan = now;
   result.mappingEvents = scheduler.mappingEvents();
+  result.mappingEngineSeconds =
+      static_cast<double>(scheduler.mappingEngineNanos()) * 1e-9;
   result.fairnessScores = scheduler.pruner().fairness().scores();
   result.machineUtilization.reserve(machines.size());
   for (const sim::Machine& m : machines) {

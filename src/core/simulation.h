@@ -26,6 +26,14 @@ struct TrialResult {
 
   std::size_t mappingEvents = 0;
   sim::Time makespan = 0;  ///< time of the last event in the trial
+
+  /// Wall-clock seconds spent inside the batch-mapping section of mapping
+  /// events (candidate assembly + heuristic + dispatch/defer decisions).
+  /// Populated only when SimulationConfig.measureMappingEngine is set;
+  /// 0 otherwise.  Lets benches compare mapping engines without the
+  /// simulation substrate (event heap, sampling, metrics) diluting the
+  /// signal.
+  double mappingEngineSeconds = 0.0;
 };
 
 /// Runs one workload trial to completion.  Deterministic: the same model,

@@ -6,8 +6,126 @@
 
 namespace hcs::heuristics {
 
-template <class ScoreFn>
+TwoPhaseBatchHeuristic::Phase1Result TwoPhaseBatchHeuristic::scanPhase1(
+    const MappingContext& ctx, sim::TaskType type) const {
+  constexpr double kNoSecond = std::numeric_limits<double>::infinity();
+  const int m = ctx.numMachines();
+  Phase1Result phase1;
+  phase1.secondEct = kNoSecond;
+  for (sim::MachineId j = 0; j < m; ++j) {
+    if (slots_[static_cast<std::size_t>(j)] == 0) continue;
+    const double ect = virtualReady_[static_cast<std::size_t>(j)] +
+                       ctx.expectedExec(type, j);
+    if (phase1.machine == sim::kInvalidMachine) {
+      phase1.machine = j;
+      phase1.ect = ect;
+    } else if (ect < phase1.ect) {
+      phase1.secondEct = phase1.ect;
+      phase1.secondMachine = phase1.machine;
+      phase1.machine = j;
+      phase1.ect = ect;
+    } else if (ect < phase1.secondEct) {
+      phase1.secondEct = ect;
+      phase1.secondMachine = j;
+    }
+  }
+  if (phase1.machine != sim::kInvalidMachine &&
+      phase1.secondEct == kNoSecond) {
+    phase1.secondEct = phase1.ect;
+    phase1.secondMachine = phase1.machine;
+  }
+  return phase1;
+}
+
+void TwoPhaseBatchHeuristic::markStaleForTouched() {
+  // Covers every memoized type — including ones whose tasks are all
+  // assigned or that found no eligible machine this call — so the table
+  // stays truthful for the *next* call too.
+  for (std::size_t t = 0; t < phase1ByType_.size(); ++t) {
+    if (phase1Stale_[t]) continue;
+    const Phase1Result& p1 = phase1ByType_[t];
+    if (p1.machine == sim::kInvalidMachine) continue;  // no machine to touch
+    if (touched_[static_cast<std::size_t>(p1.machine)] ||
+        touched_[static_cast<std::size_t>(p1.secondMachine)]) {
+      phase1Stale_[t] = 1;
+    }
+  }
+}
+
+void TwoPhaseBatchHeuristic::mergeImprovedMachine(Phase1Result& p1,
+                                                  double ect,
+                                                  sim::MachineId j) {
+  // Lexicographic (ect, id) order — the exact tie semantics of the scan's
+  // strict-less updates (equal ects keep the earlier machine).
+  const auto before = [](double e1, sim::MachineId m1, double e2,
+                         sim::MachineId m2) {
+    return e1 != e2 ? e1 < e2 : m1 < m2;
+  };
+  if (p1.machine == sim::kInvalidMachine) {
+    p1 = Phase1Result{j, ect, ect, j};
+    return;
+  }
+  const bool hasSecond = p1.secondMachine != p1.machine;
+  if (j == p1.machine) {
+    // The winner got cheaper: still the winner; keep the no-second
+    // fallback (secondEct mirrors ect) in step.
+    p1.ect = ect;
+    if (!hasSecond) p1.secondEct = ect;
+    return;
+  }
+  if (hasSecond && j == p1.secondMachine) {
+    if (before(ect, j, p1.ect, p1.machine)) {
+      p1.secondEct = p1.ect;
+      p1.secondMachine = p1.machine;
+      p1.machine = j;
+      p1.ect = ect;
+    } else {
+      p1.secondEct = ect;
+    }
+    return;
+  }
+  if (before(ect, j, p1.ect, p1.machine)) {
+    p1.secondEct = p1.ect;
+    p1.secondMachine = p1.machine;
+    p1.machine = j;
+    p1.ect = ect;
+  } else if (!hasSecond ||
+             before(ect, j, p1.secondEct, p1.secondMachine)) {
+    p1.secondEct = ect;
+    p1.secondMachine = j;
+  }
+}
+
+void TwoPhaseBatchHeuristic::applyImprovements(const MappingContext& ctx,
+                                               std::size_t typeIdx) {
+  Phase1Result& p1 = phase1ByType_[typeIdx];
+  for (const sim::MachineId j : improvedScratch_) {
+    // A commit may have exhausted the machine's virtual slots since the
+    // call-start diff; the scan would skip it, so the merge must too.  Its
+    // ready time is read live for the same reason (net of any commits) —
+    // an improved-then-committed machine merges at its current value,
+    // which is exactly what a rescan would see.
+    if (slots_[static_cast<std::size_t>(j)] == 0) continue;
+    mergeImprovedMachine(
+        p1,
+        virtualReady_[static_cast<std::size_t>(j)] +
+            ctx.expectedExec(static_cast<sim::TaskType>(typeIdx), j),
+        j);
+  }
+}
+
+template <class ScoreFn, class KeyFn, class SaturatesFn>
 std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
+    const MappingContext& ctx, std::span<const sim::TaskId> batch,
+    const ScoreFn& score, const KeyFn& withinTypeKey,
+    const SaturatesFn& saturates) {
+  return ctx.persistent() && ctx.batchQueue() != nullptr
+             ? mapIncremental(ctx, score, withinTypeKey, saturates)
+             : mapReference(ctx, batch, score);
+}
+
+template <class ScoreFn>
+std::vector<Assignment> TwoPhaseBatchHeuristic::mapReference(
     const MappingContext& ctx, std::span<const sim::TaskId> batch,
     const ScoreFn& score) {
   const int m = ctx.numMachines();
@@ -22,7 +140,7 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
 
   const auto numTypes = static_cast<std::size_t>(ctx.model().numTaskTypes());
   phase1ByType_.resize(numTypes);
-  phase1Stale_.assign(numTypes, true);
+  phase1Stale_.assign(numTypes, char{1});
 
   while (!unmapped_.empty()) {
     const bool anySlot =
@@ -44,30 +162,8 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
       // instead of once per task.
       const auto typeIdx = static_cast<std::size_t>(type);
       if (phase1Stale_[typeIdx]) {
-        constexpr double kNoSecond = std::numeric_limits<double>::infinity();
-        Phase1Result phase1;
-        phase1.secondEct = kNoSecond;
-        for (sim::MachineId j = 0; j < m; ++j) {
-          if (slots_[static_cast<std::size_t>(j)] == 0) continue;
-          const double ect = virtualReady_[static_cast<std::size_t>(j)] +
-                             ctx.expectedExec(type, j);
-          if (phase1.machine == sim::kInvalidMachine) {
-            phase1.machine = j;
-            phase1.ect = ect;
-          } else if (ect < phase1.ect) {
-            phase1.secondEct = phase1.ect;
-            phase1.machine = j;
-            phase1.ect = ect;
-          } else if (ect < phase1.secondEct) {
-            phase1.secondEct = ect;
-          }
-        }
-        if (phase1.machine != sim::kInvalidMachine &&
-            phase1.secondEct == kNoSecond) {
-          phase1.secondEct = phase1.ect;
-        }
-        phase1ByType_[typeIdx] = phase1;
-        phase1Stale_[typeIdx] = false;
+        phase1ByType_[typeIdx] = scanPhase1(ctx, type);
+        phase1Stale_[typeIdx] = 0;
       }
       const Phase1Result& phase1 = phase1ByType_[typeIdx];
       if (phase1.machine == sim::kInvalidMachine) continue;
@@ -107,13 +203,290 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
   return result;
 }
 
+template <class ScoreFn, class KeyFn, class SaturatesFn>
+std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
+    const MappingContext& ctx, const ScoreFn& score,
+    const KeyFn& withinTypeKey, const SaturatesFn& saturates) {
+  const sim::BatchQueue& queue = *ctx.batchQueue();
+  const int m = ctx.numMachines();
+  const auto mz = static_cast<std::size_t>(m);
+  const auto numTypes = static_cast<std::size_t>(ctx.model().numTaskTypes());
+  virtualReady_.resize(mz);
+  slots_.resize(mz);
+  for (sim::MachineId j = 0; j < m; ++j) {
+    virtualReady_[static_cast<std::size_t>(j)] = ctx.expectedReady(j);
+    slots_[static_cast<std::size_t>(j)] = ctx.freeSlots(j);
+  }
+  ++callGen_;
+
+  // Decide which memoized phase-1 results survived the world's mutations
+  // since the previous call: diff each machine's (ready, eligibility)
+  // against the end of that call.  A *worsening* of a type's winner or
+  // runner-up forces that type to rescan (the third-best is unknown);
+  // every other worsening is invisible to the memo (a worsened non-winner
+  // cannot overtake a minimum).  An *improvement* — a machine regained
+  // slots or got cheaper — merges into each memo's top-2 in O(1): it can
+  // only enter from outside the pair.
+  const bool signatureChanged =
+      lastModel_ != static_cast<const void*>(&ctx.model()) ||
+      lastMachines_ != static_cast<const void*>(&ctx.machine(0)) ||
+      lastNumMachines_ != m || phase1ByType_.size() != numTypes;
+  if (signatureChanged) {
+    phase1ByType_.assign(numTypes, Phase1Result{});
+    phase1Stale_.assign(numTypes, char{1});
+    typeMergeGen_.assign(numTypes, 0);
+    improvedScratch_.clear();
+    lastModel_ = &ctx.model();
+    lastMachines_ = &ctx.machine(0);
+    lastNumMachines_ = m;
+  } else {
+    touched_.assign(mz, 0);
+    improvedScratch_.clear();
+    bool anyWorsened = false;
+    std::size_t changed = 0;
+    for (std::size_t j = 0; j < mz; ++j) {
+      const bool eligible = slots_[j] > 0;
+      const bool wasEligible = static_cast<bool>(lastEligible_[j]);
+      if (eligible &&
+          (!wasEligible || virtualReady_[j] < lastReady_[j])) {
+        improvedScratch_.push_back(static_cast<sim::MachineId>(j));
+        ++changed;
+      } else if (eligible != wasEligible ||
+                 (eligible && virtualReady_[j] != lastReady_[j])) {
+        touched_[j] = 1;
+        anyWorsened = true;
+        ++changed;
+      }
+    }
+    if (changed * 2 > mz) {
+      // Most machines moved (typical across events: `now` shifted every
+      // ready time) — per-type bookkeeping costs more than letting the
+      // live types lazily rescan.
+      std::fill(phase1Stale_.begin(), phase1Stale_.end(), char{1});
+      improvedScratch_.clear();
+    } else if (anyWorsened) {
+      markStaleForTouched();
+    }
+    // Improvements fold in lazily, per type, at first read (below).
+  }
+
+  // Keep the per-type buckets — each sorted by (key, arrival seq) so its
+  // head is the type's best phase-2 candidate — in sync with the arrival
+  // queue by replaying its mutation journal: O(what changed) per call,
+  // never a wholesale rebuild.
+  const auto entryLess = [](const BucketEntry& a, const BucketEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  };
+  bool rebuild = syncedQueue_ != &queue ||
+                 syncedResetGen_ != queue.resetGeneration() ||
+                 syncedPool_ != static_cast<const void*>(&ctx.pool()) ||
+                 buckets_.size() != numTypes;
+  if (!rebuild) {
+    const std::size_t journalEnd = queue.journalSize();
+    for (std::size_t i = syncedJournalPos_; i < journalEnd && !rebuild;
+         ++i) {
+      const sim::BatchQueue::JournalEntry& je = queue.journalAt(i);
+      const auto typeIdx =
+          static_cast<std::size_t>(ctx.pool()[je.task].type);
+      auto& bucket = buckets_[typeIdx];
+      const BucketEntry probe{withinTypeKey(ctx, je.task), je.seq, je.task,
+                              0};
+      if (je.op == sim::BatchQueue::JournalEntry::Op::Push) {
+        if (bucket.empty() || entryLess(bucket.back(), probe)) {
+          bucket.push_back(probe);  // common case: appended in key order
+        } else {
+          const auto it = std::upper_bound(bucket.begin(), bucket.end(),
+                                           probe, entryLess);
+          const auto pos =
+              static_cast<std::uint32_t>(it - bucket.begin());
+          bucket.insert(it, probe);
+          if (pos < bucketHead_[typeIdx]) bucketHead_[typeIdx] = pos;
+        }
+      } else {
+        const auto it = std::lower_bound(bucket.begin(), bucket.end(),
+                                         probe, entryLess);
+        if (it == bucket.end() || it->seq != je.seq ||
+            it->assignedCall == kDeadEntry) {
+          rebuild = true;  // defensive: journal and buckets disagree
+        } else {
+          // Tombstone, never memmove: the dead entry keeps its (key, seq)
+          // so later binary searches stay exact.
+          it->assignedCall = kDeadEntry;
+          ++bucketDead_[typeIdx];
+          std::uint32_t& head = bucketHead_[typeIdx];
+          while (head < bucket.size() &&
+                 bucket[head].assignedCall == kDeadEntry) {
+            ++head;
+          }
+          if (bucketDead_[typeIdx] >= 16 &&
+              bucketDead_[typeIdx] * 2 >
+                  static_cast<std::uint32_t>(bucket.size())) {
+            std::erase_if(bucket, [](const BucketEntry& e) {
+              return e.assignedCall == kDeadEntry;
+            });
+            bucketDead_[typeIdx] = 0;
+            bucketHead_[typeIdx] = 0;
+          }
+        }
+      }
+    }
+    syncedJournalPos_ = journalEnd;
+  }
+  if (rebuild) {
+    buckets_.resize(numTypes);
+    for (auto& bucket : buckets_) bucket.clear();
+    bucketHead_.assign(numTypes, 0);
+    bucketDead_.assign(numTypes, 0);
+    queue.forEachLive([&](sim::TaskId task, std::uint64_t seq) {
+      buckets_[static_cast<std::size_t>(ctx.pool()[task].type)].push_back(
+          BucketEntry{withinTypeKey(ctx, task), seq, task, 0});
+    });
+    for (auto& bucket : buckets_) {
+      if (!std::is_sorted(bucket.begin(), bucket.end(), entryLess)) {
+        std::sort(bucket.begin(), bucket.end(), entryLess);
+      }
+    }
+    syncedQueue_ = &queue;
+    syncedResetGen_ = queue.resetGeneration();
+    syncedJournalPos_ = queue.journalSize();
+    syncedPool_ = &ctx.pool();
+  }
+
+  cursor_ = bucketHead_;
+  liveTypes_.clear();
+  for (std::size_t t = 0; t < numTypes; ++t) {
+    if (bucketHead_[t] < buckets_[t].size()) {
+      liveTypes_.push_back(static_cast<int>(t));
+    }
+  }
+
+  std::vector<Assignment> result;
+  while (!liveTypes_.empty()) {
+    best_.assign(mz, Candidate{});
+    bool anyCandidate = false;
+    for (std::size_t k = 0; k < liveTypes_.size();) {
+      const auto typeIdx = static_cast<std::size_t>(liveTypes_[k]);
+      const auto& bucket = buckets_[typeIdx];
+      std::uint32_t& cur = cursor_[typeIdx];
+      // Entries assigned this call or deferred this event are out of the
+      // running; both states are sticky for the rest of the call, so the
+      // cursor never has to back up.
+      while (cur < bucket.size() &&
+             (bucket[cur].assignedCall == callGen_ ||
+              bucket[cur].assignedCall == kDeadEntry ||
+              queue.deferredThisEvent(bucket[cur].task))) {
+        ++cur;
+      }
+      if (cur == bucket.size()) {
+        // Type exhausted for this call; its memo stays live (and keeps
+        // being stale-marked) for the next one.
+        liveTypes_[k] = liveTypes_.back();
+        liveTypes_.pop_back();
+        continue;
+      }
+      if (phase1Stale_[typeIdx]) {
+        phase1ByType_[typeIdx] =
+            scanPhase1(ctx, static_cast<sim::TaskType>(typeIdx));
+        phase1Stale_[typeIdx] = 0;
+        typeMergeGen_[typeIdx] = callGen_;
+      } else if (typeMergeGen_[typeIdx] != callGen_) {
+        if (!improvedScratch_.empty()) applyImprovements(ctx, typeIdx);
+        typeMergeGen_[typeIdx] = callGen_;
+      }
+      const Phase1Result& phase1 = phase1ByType_[typeIdx];
+      if (phase1.machine == sim::kInvalidMachine) {
+        // No machine has slots for this type; virtual slots only shrink
+        // within a call, so it is out for the rest of it.
+        liveTypes_[k] = liveTypes_.back();
+        liveTypes_.pop_back();
+        continue;
+      }
+      // The type's best candidate.  Normally the head: the bucket is
+      // sorted by (key, arrival seq) and the score is monotone in the
+      // key, so the head carries the type's minimal (score, arrival)
+      // pair.  But when the head's score SATURATES (MMU collapses every
+      // hopeless slack to -inf urgency), all saturated tasks tie on score
+      // and the reference breaks the tie by arrival order alone — so scan
+      // the saturated prefix (contiguous: keys ascend, saturation is
+      // downward-closed in the key) for the earliest arrival.
+      std::uint32_t chosen = cur;
+      if (saturates(bucket[cur].key, phase1)) {
+        for (std::uint32_t i = cur + 1;
+             i < bucket.size() && saturates(bucket[i].key, phase1); ++i) {
+          if (bucket[i].assignedCall != callGen_ &&
+              bucket[i].assignedCall != kDeadEntry &&
+              bucket[i].seq < bucket[chosen].seq &&
+              !queue.deferredThisEvent(bucket[i].task)) {
+            chosen = i;
+          }
+        }
+      }
+      const sim::TaskId task = bucket[chosen].task;
+      const Score s = score(ctx, task, phase1);
+      // Exactly the reference's "first minimal wins": minimize
+      // (score, arrival order) — per-machine minimum over the per-type
+      // minima equals the reference's minimum over all candidates.
+      Candidate& slot = best_[static_cast<std::size_t>(phase1.machine)];
+      if (slot.task == sim::kInvalidTask || s < slot.score ||
+          (!(slot.score < s) && bucket[chosen].seq < slot.unmappedIndex)) {
+        slot = Candidate{task, s,
+                         static_cast<std::size_t>(bucket[chosen].seq),
+                         static_cast<int>(typeIdx), chosen};
+      }
+      anyCandidate = true;
+      ++k;
+    }
+    if (!anyCandidate) break;
+
+    // Commit this round's winners in machine order (the order the
+    // reference emits) and invalidate exactly their dependents.
+    touched_.assign(mz, 0);
+    for (sim::MachineId j = 0; j < m; ++j) {
+      const Candidate& c = best_[static_cast<std::size_t>(j)];
+      if (c.task == sim::kInvalidTask) continue;
+      result.push_back(Assignment{c.task, j});
+      slots_[static_cast<std::size_t>(j)] -= 1;
+      virtualReady_[static_cast<std::size_t>(j)] +=
+          ctx.expectedExec(static_cast<sim::TaskType>(c.bucketType), j);
+      buckets_[static_cast<std::size_t>(c.bucketType)][c.bucketIndex]
+          .assignedCall = callGen_;
+      touched_[static_cast<std::size_t>(j)] = 1;
+    }
+    markStaleForTouched();
+  }
+
+  // Types that never folded this call's improvements lose them for good
+  // (the improved list dies with the call) — their memos must rescan on
+  // next read.
+  if (!improvedScratch_.empty()) {
+    for (std::size_t t = 0; t < phase1ByType_.size(); ++t) {
+      if (!phase1Stale_[t] && typeMergeGen_[t] != callGen_) {
+        phase1Stale_[t] = 1;
+      }
+    }
+  }
+
+  // The baseline the next call diffs against: this call's final virtual
+  // queue state (a dispatch turns the virtual assignment real, so an
+  // unchanged machine reads back the same ready time).
+  lastReady_.assign(virtualReady_.begin(), virtualReady_.end());
+  lastEligible_.resize(mz);
+  for (std::size_t j = 0; j < mz; ++j) {
+    lastEligible_[j] = slots_[j] > 0 ? 1 : 0;
+  }
+  return result;
+}
+
 std::vector<Assignment> MinCompletionMinCompletion::map(
     const MappingContext& ctx, std::span<const sim::TaskId> batch) {
   return mapImpl(ctx, batch,
                  [](const MappingContext&, sim::TaskId,
                     const Phase1Result& phase1) {
                    return Score{phase1.ect, phase1.ect};
-                 });
+                 },
+                 [](const MappingContext&, sim::TaskId) { return 0.0; },
+                 [](double, const Phase1Result&) { return false; });
 }
 
 std::vector<Assignment> MinCompletionSoonestDeadline::map(
@@ -122,7 +495,11 @@ std::vector<Assignment> MinCompletionSoonestDeadline::map(
                  [](const MappingContext& c, sim::TaskId task,
                     const Phase1Result& phase1) {
                    return Score{c.pool()[task].deadline, phase1.ect};
-                 });
+                 },
+                 [](const MappingContext& c, sim::TaskId task) {
+                   return c.pool()[task].deadline;
+                 },
+                 [](double, const Phase1Result&) { return false; });
 }
 
 std::vector<Assignment> MinCompletionMaxUrgency::map(
@@ -139,6 +516,19 @@ std::vector<Assignment> MinCompletionMaxUrgency::map(
                            ? std::numeric_limits<double>::infinity()
                            : 1.0 / slack;
                    return Score{-urgency, phase1.ect};
+                 },
+                 // -urgency is monotone non-decreasing in the deadline for
+                 // any fixed ECT (and saturates to -inf for hopeless
+                 // slack), so the deadline orders a type exactly as the
+                 // score does.
+                 [](const MappingContext& c, sim::TaskId task) {
+                   return c.pool()[task].deadline;
+                 },
+                 // The plateau of Eq. 3: every deadline at or under
+                 // ect + eps is "maximally urgent" and scores exactly
+                 // -inf — the same arithmetic as the score lambda.
+                 [](double key, const Phase1Result& phase1) {
+                   return key - phase1.ect <= 1e-12;
                  });
 }
 
@@ -148,7 +538,9 @@ std::vector<Assignment> MaxMin::map(const MappingContext& ctx,
                  [](const MappingContext&, sim::TaskId,
                     const Phase1Result& phase1) {
                    return Score{-phase1.ect, phase1.ect};
-                 });
+                 },
+                 [](const MappingContext&, sim::TaskId) { return 0.0; },
+                 [](double, const Phase1Result&) { return false; });
 }
 
 std::vector<Assignment> SufferageHeuristic::map(
@@ -159,7 +551,9 @@ std::vector<Assignment> SufferageHeuristic::map(
                    // Largest sufferage (second-best minus best completion)
                    // wins the slot.
                    return Score{-(phase1.secondEct - phase1.ect), phase1.ect};
-                 });
+                 },
+                 [](const MappingContext&, sim::TaskId) { return 0.0; },
+                 [](double, const Phase1Result&) { return false; });
 }
 
 }  // namespace hcs::heuristics

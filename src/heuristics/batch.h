@@ -12,12 +12,33 @@
 //             and repeat until the virtual queues are full or the unmapped
 //             queue is empty.
 //
+// Two executions of that process live here, selected by the context's
+// lifetime and bit-identical in their assignments:
+//
+//  - Reference (throwaway contexts): every round re-scans phase 1 per live
+//    task type and re-scores phase 2 over every unmapped task, exactly as
+//    the paper reads.
+//  - Incremental (persistent contexts with an attached batch queue — the
+//    incremental mapping engine): the per-type phase-1 results live in a
+//    table that survives rounds and map() calls, invalidated only for
+//    types whose min- or second-ECT machine was touched by a commit (the
+//    virtual queue state of every other machine is unchanged, so their
+//    scan would be byte-identical); phase 2 walks one candidate per type —
+//    tasks of a type live in per-type buckets sorted by a static
+//    within-type key, so the type's head is its best phase-2 candidate —
+//    instead of the whole batch.  The buckets are not rebuilt per call:
+//    they replay the batch queue's mutation journal, so a mapping event
+//    costs O(what changed), not O(queue).  Between map() calls the
+//    phase-1 table's validity is decided by comparing each machine's
+//    (ready, eligibility) against the end of the previous call: if nothing
+//    improved, only the worsened machines' dependent types rescan.
+//
 // The engine is statically bound to each heuristic's phase-2 score (a
-// template, not a virtual call): the score runs O(batch × machines × rounds)
-// times per mapping event, which made it the scheduler's single hottest
-// virtual dispatch.  Scratch buffers live on the heuristic object — one
-// warm-up allocation per trial instead of five per round.
+// template, not a virtual call): the score runs on the hot path of every
+// round.  Scratch buffers live on the heuristic object — one warm-up
+// allocation per trial instead of five per round.
 
+#include <cstdint>
 #include <limits>
 
 #include "heuristics/heuristic.h"
@@ -27,6 +48,10 @@ namespace hcs::heuristics {
 /// Shared two-phase engine; subclasses supply the phase-2 selection score
 /// (lower wins) through the statically bound mapImpl().
 class TwoPhaseBatchHeuristic : public BatchHeuristic {
+ public:
+  /// The incremental path reads candidates straight off ctx.batchQueue().
+  bool consumesBatchQueue() const override { return true; }
+
  protected:
   /// Lexicographic comparison: primary first, expected completion breaks
   /// ties (as MSD specifies; harmless for the others).
@@ -40,30 +65,91 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
     }
   };
 
-  /// What phase 1 learned about a task this round.
+  /// What phase 1 learned about a task type this round.
   struct Phase1Result {
     sim::MachineId machine = sim::kInvalidMachine;  ///< min-ECT machine
     double ect = 0.0;                               ///< its completion time
     /// Completion time on the runner-up machine (= ect when only one
     /// machine has slots); secondEct - ect is the classic sufferage value.
     double secondEct = 0.0;
+    /// The runner-up machine itself (= machine when there is no second):
+    /// with `machine`, the full support of the memoized result — a commit
+    /// that touches neither leaves a rescan byte-identical.
+    sim::MachineId secondMachine = sim::kInvalidMachine;
   };
 
   /// One machine's best phase-2 candidate this round.
   struct Candidate {
     sim::TaskId task = sim::kInvalidTask;
     Score score;
+    /// Reference path: index into unmapped_.  Incremental path: the
+    /// task's stable arrival sequence number (the tie-break).
     std::size_t unmappedIndex = 0;
+    /// Incremental path only: where the winner lives, to stamp it
+    /// assigned at commit.
+    int bucketType = -1;
+    std::uint32_t bucketIndex = 0;
   };
 
   /// The two-phase loop with `score(ctx, task, phase1)` inlined at the
   /// call site; every concrete heuristic's map() delegates here.
-  template <class ScoreFn>
+  ///
+  /// `withinTypeKey(ctx, task)` must order the tasks of one type exactly
+  /// as the score does for ANY phase-1 result: score must be monotone
+  /// non-decreasing in the key, and equal keys must give equal scores.
+  /// (All five built-ins satisfy this with either a constant or the
+  /// deadline.)  The incremental path sorts each type's tasks by
+  /// (key, batch position) once and then scores only the head.
+  ///
+  /// `saturates(key, phase1)` must return true exactly when the score
+  /// collapses to its minimal plateau at that key (MMU's -inf urgency for
+  /// hopeless slack) — distinct keys inside the plateau share one score,
+  /// so the winner is the earliest *batch position*, not the smallest key,
+  /// and the incremental path must scan the saturated prefix instead of
+  /// trusting the head.  Saturation must be downward-closed in the key.
+  template <class ScoreFn, class KeyFn, class SaturatesFn>
   std::vector<Assignment> mapImpl(const MappingContext& ctx,
                                   std::span<const sim::TaskId> batch,
-                                  const ScoreFn& score);
+                                  const ScoreFn& score,
+                                  const KeyFn& withinTypeKey,
+                                  const SaturatesFn& saturates);
 
  private:
+  template <class ScoreFn>
+  std::vector<Assignment> mapReference(const MappingContext& ctx,
+                                       std::span<const sim::TaskId> batch,
+                                       const ScoreFn& score);
+  /// Queue-direct delta evaluation; candidates come from ctx.batchQueue().
+  template <class ScoreFn, class KeyFn, class SaturatesFn>
+  std::vector<Assignment> mapIncremental(const MappingContext& ctx,
+                                         const ScoreFn& score,
+                                         const KeyFn& withinTypeKey,
+                                         const SaturatesFn& saturates);
+
+  /// Minimum-ECT scan over the machines with free virtual slots; reads
+  /// slots_ / virtualReady_.  The single source of the phase-1 arithmetic
+  /// for both paths.
+  Phase1Result scanPhase1(const MappingContext& ctx, sim::TaskType type) const;
+
+  /// Marks stale every memoized phase-1 result whose winner or runner-up
+  /// machine is in touched_.
+  void markStaleForTouched();
+
+  /// Folds an improved machine (cheaper ready time, or newly eligible)
+  /// into a memoized phase-1 result in O(1): the memo is exactly the
+  /// top-2 of (ect, machine) pairs under the scan's lexicographic order,
+  /// and an improvement can only enter from outside — no third-best
+  /// knowledge needed (unlike a worsening of the winner/runner-up, which
+  /// forces a rescan).
+  static void mergeImprovedMachine(Phase1Result& p1, double ect,
+                                   sim::MachineId j);
+
+  /// Applies mergeImprovedMachine for every still-eligible machine in
+  /// improvedScratch_ to one type's memo — called lazily, the first time a
+  /// call actually reads that type (most types are never read in a given
+  /// call, so eager merging across the whole table wastes the savings).
+  void applyImprovements(const MappingContext& ctx, std::size_t typeIdx);
+
   /// Per-round working sets, reused across mapping events (the heuristic
   /// object lives for the whole trial).
   std::vector<double> virtualReady_;
@@ -71,10 +157,56 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
   std::vector<sim::TaskId> unmapped_;
   std::vector<Candidate> best_;
   std::vector<Candidate> winners_;
-  /// Phase-1 results memoized per task type within a round (phase 1 reads
-  /// only the virtual queue state and the task's type).
+  /// Phase-1 results memoized per task type (phase 1 reads only the
+  /// virtual queue state and the task's type).  The reference path resets
+  /// the stale flags wholesale every round; the incremental path clears
+  /// exactly the types a commit invalidated and carries the table across
+  /// rounds and calls.
   std::vector<Phase1Result> phase1ByType_;
   std::vector<char> phase1Stale_;
+
+  // --- Incremental-path state (persistent contexts only) ---------------------
+
+  /// assignedCall value marking a tombstone (the task left the queue).
+  /// Removals never memmove the bucket — the dead entry keeps its
+  /// (key, seq) so binary searches stay valid, a persistent head pointer
+  /// hops the dead prefix (the common death site: winners are heads), and
+  /// compaction sweeps when tombstones outnumber the living.
+  static constexpr std::uint32_t kDeadEntry = 0xffffffffu;
+
+  struct BucketEntry {
+    double key = 0.0;             ///< within-type ordering key
+    std::uint64_t seq = 0;        ///< stable arrival sequence (tie-break)
+    sim::TaskId task = sim::kInvalidTask;
+    std::uint32_t assignedCall = 0;  ///< callGen_ stamp, or kDeadEntry
+  };
+  /// Per type: its queued tasks sorted by (key, seq); head = best phase-2
+  /// candidate of the type.  Maintained across calls by replaying the
+  /// batch queue's mutation journal.
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<std::uint32_t> bucketHead_;  ///< first maybe-live index
+  std::vector<std::uint32_t> bucketDead_;  ///< tombstones in the bucket
+  std::vector<std::uint32_t> cursor_;  ///< per type: first candidate entry
+  std::vector<int> liveTypes_;         ///< types with candidate tasks
+  std::vector<char> touched_;          ///< per machine, one commit's wake
+  std::vector<sim::MachineId> improvedScratch_;  ///< cross-call gains
+  /// Per type: callGen_ of the last call whose improvements were folded
+  /// into (or whose rescan refreshed) the memo.
+  std::vector<std::uint32_t> typeMergeGen_;
+  std::uint32_t callGen_ = 0;          ///< map() call counter (stamps)
+  /// Journal synchronization with the attached batch queue.
+  const sim::BatchQueue* syncedQueue_ = nullptr;
+  std::uint64_t syncedResetGen_ = 0;
+  std::size_t syncedJournalPos_ = 0;
+  const void* syncedPool_ = nullptr;  ///< keys read task data from here
+  /// Virtual queue state at the end of the previous map() call — the
+  /// baseline the next call diffs against to decide which memo entries
+  /// survived the world's mutations.
+  std::vector<double> lastReady_;
+  std::vector<char> lastEligible_;
+  const void* lastModel_ = nullptr;
+  const void* lastMachines_ = nullptr;
+  int lastNumMachines_ = -1;
 };
 
 /// MM: phase 2 also minimizes expected completion time (classic MinMin).

@@ -38,26 +38,60 @@ MappingContext::~MappingContext() {
   arena.recycle(std::move(readyCache_));
 }
 
+void MappingContext::enablePersistence() {
+  persistent_ = true;
+  // Stamp 0 can never equal a live generation (readyGen_ starts at 1).
+  readyEpoch_.assign(machines_->size(), 0);
+  readyStamp_.assign(machines_->size(), 0);
+}
+
+void MappingContext::rebind(sim::Time now) {
+  if (now == now_) return;
+  now_ = now;
+  // Ready times are anchored at `now`; a new event invalidates every entry
+  // in O(1) by bumping the generation.  The exec memo survives: it depends
+  // only on the model.  On the (harmless, ~4 billion events) wrap to 0,
+  // entries stamped 0 are refused by expectedReady anyway since stamp 0 is
+  // re-assigned below before any lookup.
+  if (++readyGen_ == 0) {
+    readyStamp_.assign(readyStamp_.size(), 0);
+    readyGen_ = 1;
+  }
+}
+
 sim::Time MappingContext::expectedReady(sim::MachineId id) const {
   const auto idx = static_cast<std::size_t>(id);
-  if (readyCache_[idx] < 0.0) {
-    const sim::Machine& m = (*machines_)[idx];
-    if (pctCache_ != nullptr) {
-      // Same arithmetic as Machine::expectedReady, with the conditional
-      // remaining mean of the running task memoized across events.
-      sim::Time ready = now_;
-      if (m.busy()) {
-        ready += pctCache_->remainingMean(m, now_, *pool_, *model_);
-      }
-      for (sim::TaskId t : m.queue()) {
-        ready += expectedExec((*pool_)[t].type, id);
-      }
-      readyCache_[idx] = ready;
-    } else {
-      readyCache_[idx] = m.expectedReady(now_, *pool_, *model_);
+  const sim::Machine& m = (*machines_)[idx];
+  if (persistent_) {
+    // Entry valid iff computed at this `now` (generation) for this exact
+    // queue configuration (epoch) — the dirty-machine invalidation: after
+    // a dispatch, only the touched machine misses.
+    if (readyStamp_[idx] == readyGen_ && readyEpoch_[idx] == m.queueEpoch()) {
+      return readyCache_[idx];
     }
+  } else if (readyCache_[idx] >= 0.0) {
+    return readyCache_[idx];
   }
-  return readyCache_[idx];
+  sim::Time ready;
+  if (pctCache_ != nullptr) {
+    // Same arithmetic as Machine::expectedReady, with the conditional
+    // remaining mean of the running task memoized across events.
+    ready = now_;
+    if (m.busy()) {
+      ready += pctCache_->remainingMean(m, now_, *pool_, *model_);
+    }
+    for (sim::TaskId t : m.queue()) {
+      ready += expectedExec((*pool_)[t].type, id);
+    }
+  } else {
+    ready = m.expectedReady(now_, *pool_, *model_);
+  }
+  readyCache_[idx] = ready;
+  if (persistent_) {
+    readyStamp_[idx] = readyGen_;
+    readyEpoch_[idx] = m.queueEpoch();
+  }
+  return ready;
 }
 
 sim::Time MappingContext::expectedCompletion(sim::TaskId task,

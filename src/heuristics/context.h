@@ -3,10 +3,12 @@
 // works against at one mapping event.
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "heuristics/pct_cache.h"
+#include "sim/batch_queue.h"
 #include "sim/machine.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -18,6 +20,18 @@ namespace hcs::heuristics {
 /// Caches per-machine expected-ready times (the scalar part of completion
 /// estimates) because every batch heuristic queries them O(batch x machines)
 /// times per event.
+///
+/// Two lifetimes exist:
+///  - Throwaway (the default): built for one batch round and discarded, the
+///    reference engine's behavior.  The memo tables ride the PMF arena and
+///    use a -1 sentinel for "unfilled".
+///  - Persistent (enablePersistence() + rebind()): owned by the scheduler
+///    for a whole trial.  The exec memo is valid for the trial (it depends
+///    only on the fixed execution model); each ready-memo entry carries the
+///    machine's queue epoch and the context's rebind generation, so after a
+///    dispatch only the touched machine recomputes — the dirty-machine
+///    contract of the incremental mapping engine.  Every query answers
+///    bit-identically in both modes.
 class MappingContext {
  public:
   /// `queueCapacity` caps tasks in a machine's system (running + waiting);
@@ -33,6 +47,25 @@ class MappingContext {
                  const sim::ExecutionModel& model, std::size_t queueCapacity,
                  PctCache* pctCache = nullptr);
 
+  /// Switches this context to the persistent (epoch-validated) lifetime.
+  /// Call once, before the first query.
+  void enablePersistence();
+  bool persistent() const { return persistent_; }
+
+  /// The incremental engine's arrival queue (persistent batch-mode
+  /// contexts only, else null).  Heuristics that announce
+  /// consumesBatchQueue() read candidates and their arrival order straight
+  /// from it — and keep derived structures in sync through its mutation
+  /// journal — instead of receiving a rebuilt span every round.
+  void attachBatchQueue(const sim::BatchQueue* queue) { batchQueue_ = queue; }
+  const sim::BatchQueue* batchQueue() const { return batchQueue_; }
+
+  /// Re-anchors a persistent context to a new mapping event.  A changed
+  /// `now` starts a new ready-memo generation; entries for machines whose
+  /// queue epoch is unchanged within one generation stay valid across the
+  /// event's rounds.  The exec memo is untouched — it is now-independent.
+  void rebind(sim::Time now);
+
   sim::Time now() const { return now_; }
   const sim::TaskPool& pool() const { return *pool_; }
   const sim::ExecutionModel& model() const { return *model_; }
@@ -45,8 +78,9 @@ class MappingContext {
   sim::Time expectedReady(sim::MachineId id) const;
 
   /// model().expectedExec with the virtual call devirtualized through a
-  /// per-context memo — the batch heuristics query the same (type, machine)
-  /// pairs O(batch × machines) times per event.
+  /// memo — the batch heuristics query the same (type, machine) pairs
+  /// O(batch × machines) times per event.  In persistent mode the memo
+  /// lives for the whole trial (the model never changes under a context).
   double expectedExec(sim::TaskType type, sim::MachineId id) const {
     const std::size_t slot = static_cast<std::size_t>(type) *
                                  static_cast<std::size_t>(numMachines()) +
@@ -90,12 +124,21 @@ class MappingContext {
   const sim::ExecutionModel* model_;
   std::size_t capacity_;
   PctCache* pctCache_;
-  /// Contexts are built per batch round — the memo buffers ride the PMF
-  /// arena instead of paying three heap allocations each time.  -1 =
+  const sim::BatchQueue* batchQueue_ = nullptr;
+  bool persistent_ = false;
+  /// Throwaway contexts are built per batch round — the memo buffers ride
+  /// the PMF arena instead of paying heap allocations each time.  -1 =
   /// unfilled in both caches (ready times and execution means are never
   /// negative); the destructor recycles the buffers.
   mutable std::vector<double> readyCache_;
   mutable std::vector<double> execCache_;
+  /// Persistent-mode validity stamps for readyCache_: an entry holds iff
+  /// its generation equals readyGen_ (same `now`) and its epoch equals the
+  /// machine's current queue epoch (no mutation since it was filled).
+  /// Empty in throwaway mode.
+  mutable std::vector<std::uint64_t> readyEpoch_;
+  mutable std::vector<std::uint32_t> readyStamp_;
+  std::uint32_t readyGen_ = 1;
 };
 
 }  // namespace hcs::heuristics

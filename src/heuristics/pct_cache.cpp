@@ -121,8 +121,8 @@ const prob::DiscretePmf& PctCache::appendEntry(const sim::Machine& m,
     entry.elapsedBin = elapsedBin;
     recycleValues(arena, entry.appendByType);
     prob::DiscretePmf acc = relativeAvailability(m, now, pool, model);
-    for (sim::TaskId id : m.queue()) {
-      prob::convolveInPlace(arena, acc, model.pet(pool[id].type, m.id()));
+    for (const sim::TaskType qType : m.queueTypes()) {
+      prob::convolveInPlace(arena, acc, model.pet(qType, m.id()));
     }
     if (entry.relTail.has_value()) arena.recycle(std::move(*entry.relTail));
     entry.relTail = std::move(acc);
@@ -176,9 +176,9 @@ PctCache::QueueChainView PctCache::queueChain(const sim::Machine& m,
     chain.reserve(m.queueLength());
     prob::DiscretePmf avail = relativeAvailability(m, now, pool, model);
     const prob::DiscretePmf* prev = &avail;
-    for (sim::TaskId id : m.queue()) {
+    for (const sim::TaskType qType : m.queueTypes()) {
       chain.push_back(
-          prob::convolveInto(arena, *prev, model.pet(pool[id].type, m.id())));
+          prob::convolveInto(arena, *prev, model.pet(qType, m.id())));
       prev = &chain.back();
     }
     arena.recycle(std::move(avail));
@@ -187,6 +187,59 @@ PctCache::QueueChainView PctCache::queueChain(const sim::Machine& m,
     ++stats_.chainHits;
   }
   return QueueChainView{*entry.relChain, binAt(m, now)};
+}
+
+std::optional<prob::DiscretePmf> PctCache::peekAppendPct(
+    const sim::Machine& m, sim::Time now, sim::TaskType type) const {
+  const auto idx = static_cast<std::size_t>(m.id());
+  if (idx >= entries_.size()) return std::nullopt;
+  const MachineEntry& entry = entries_[idx];
+  if (!entry.valid || entry.epoch != m.queueEpoch()) return std::nullopt;
+  const auto typeIdx = static_cast<std::size_t>(type);
+  if (typeIdx >= entry.appendByType.size() ||
+      !entry.appendByType[typeIdx].has_value()) {
+    return std::nullopt;
+  }
+  if (entry.tracked) return *entry.appendByType[typeIdx];
+  if (entry.elapsedBin != elapsedBinOf(m, now)) return std::nullopt;
+  return entry.appendByType[typeIdx]->shifted(binAt(m, now));
+}
+
+void PctCache::noteAppend(const sim::Machine& m, sim::Time now,
+                          const sim::TaskPool& pool,
+                          const sim::ExecutionModel& model, sim::TaskType type,
+                          std::uint64_t preEpoch) {
+  const auto idx = static_cast<std::size_t>(m.id());
+  if (idx >= entries_.size()) return;
+  MachineEntry& entry = entries_[idx];
+  if (!entry.valid || entry.epoch != preEpoch ||
+      !entry.relChain.has_value() ||
+      entry.chainElapsedBin != elapsedBinOf(m, now)) {
+    return;  // nothing provably extendable; normal invalidation applies
+  }
+  std::vector<prob::DiscretePmf>& chain = *entry.relChain;
+  // The chain must mirror the pre-dispatch queue (the new task is already
+  // in the machine's queue).
+  if (chain.size() + 1 != m.queueLength()) return;
+  prob::PmfArena& arena = prob::PmfArena::local();
+  const prob::DiscretePmf& pet = model.pet(type, m.id());
+  if (chain.empty()) {
+    prob::DiscretePmf avail = relativeAvailability(m, now, pool, model);
+    chain.push_back(prob::convolveInto(arena, avail, pet));
+    arena.recycle(std::move(avail));
+  } else {
+    chain.push_back(prob::convolveInto(arena, chain.back(), pet));
+  }
+  // Adopt the post-dispatch epoch for the surviving chain; the append/tail
+  // memos were derived from the old tail and die with it.
+  recycleValues(arena, entry.appendByType);
+  if (entry.relTail.has_value()) {
+    arena.recycle(std::move(*entry.relTail));
+    entry.relTail.reset();
+  }
+  entry.elapsedBin = -2;
+  entry.epoch = m.queueEpoch();
+  entry.tracked = m.tailTracked();
 }
 
 std::vector<prob::DiscretePmf> PctCache::queuePcts(

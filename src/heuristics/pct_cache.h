@@ -87,6 +87,29 @@ class PctCache {
                                            const sim::TaskPool& pool,
                                            const sim::ExecutionModel& model);
 
+  /// appendPct, but only if the memo is already hot for `m`'s current
+  /// configuration — never computes a convolution.  Lets a dispatch reuse
+  /// the PMF the deferring check just produced without *forcing* one when
+  /// the check was decided from support bounds alone (the machine's lazy
+  /// pending-append covers the cold case bit-identically, and only if the
+  /// tail is ever read).
+  std::optional<prob::DiscretePmf> peekAppendPct(const sim::Machine& m,
+                                                 sim::Time now,
+                                                 sim::TaskType type) const;
+
+  /// A task of `type` was just appended to machine `m`'s queue (the
+  /// machine's epoch moved from `preEpoch` to its current value by that
+  /// one dispatch).  When the memoized proactive chain was valid for
+  /// `preEpoch` at the same head-elapsed bin, extend it by ONE convolution
+  /// — chain ⊛ PET appended at the right of the same left-fold a rebuild
+  /// would do, so the extended chain is bit-identical to a fresh one —
+  /// instead of letting the epoch bump discard the whole thing (the
+  /// append/tail memos genuinely died with the tail; they are still
+  /// cleared).  No-op when the chain cannot be proven extendable.
+  void noteAppend(const sim::Machine& m, sim::Time now,
+                  const sim::TaskPool& pool, const sim::ExecutionModel& model,
+                  sim::TaskType type, std::uint64_t preEpoch);
+
   /// Memoized pet(running task).conditionalRemainingMean(now − runStart):
   /// the expensive term of a busy machine's expected-ready estimate.  Keyed
   /// on (task type, machine, elapsed bin) — exact because the conditional

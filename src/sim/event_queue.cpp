@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace hcs::sim {
 
@@ -12,7 +13,11 @@ void EventQueue::push(Time time, EventKind kind, TaskId task,
   e.task = task;
   e.machine = machine;
   e.seq = nextSeq_++;
-  heap_.push(e);
+  pos_.push_back(kNotInHeap);
+  heap_.push_back(std::move(e));
+  const std::size_t i = heap_.size() - 1;
+  pos_[heap_[i].seq] = static_cast<std::uint32_t>(i);
+  siftUp(i);
 }
 
 Event EventQueue::pop() {
@@ -24,15 +29,61 @@ Event EventQueue::pop() {
 }
 
 std::optional<Event> EventQueue::tryPop() {
-  while (!heap_.empty()) {
-    Event e = heap_.top();
-    heap_.pop();
-    if (cancelled_.erase(e.seq) > 0) continue;
-    return e;
-  }
-  return std::nullopt;
+  if (heap_.empty()) return std::nullopt;
+  Event e = heap_.front();
+  removeAt(0);
+  return e;
 }
 
-void EventQueue::cancel(std::uint64_t seq) { cancelled_.insert(seq); }
+void EventQueue::cancel(std::uint64_t seq) {
+  if (seq >= pos_.size()) return;  // never pushed
+  const std::uint32_t i = pos_[seq];
+  if (i == kNotInHeap) return;  // already popped or already cancelled
+  removeAt(i);
+}
+
+void EventQueue::removeAt(std::size_t i) {
+  pos_[heap_[i].seq] = kNotInHeap;
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    place(i, std::move(heap_[last]));
+    heap_.pop_back();
+    // The transplanted event may violate the heap property in either
+    // direction relative to its new neighbourhood.
+    siftUp(i);
+    siftDown(i);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  Event e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    place(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  place(i, std::move(e));
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Event e = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    place(i, std::move(heap_[best]));
+    i = best;
+  }
+  place(i, std::move(e));
+}
 
 }  // namespace hcs::sim

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
@@ -28,48 +26,72 @@ struct Event {
   std::uint64_t seq = 0;
 };
 
-/// Min-heap of events ordered by (time, seq).
+/// Indexed min-heap of events ordered by (time, seq).
+///
+/// The heap is 4-ary — shallower than a binary heap for the same size, and
+/// the four-child minimum scan is friendlier to the cache line the children
+/// share — and every live event's heap position is tracked by its sequence
+/// number, so cancel() removes the event *in place*.  The previous
+/// implementation parked cancellations in a tombstone set that each pop had
+/// to consult and that abort-heavy runs grew without bound; here a
+/// cancellation is one O(log4 n) heap repair and the entry is freed eagerly.
+/// Because (time, seq) is a total order over unique keys, the pop sequence
+/// is bit-identical to the tombstone implementation's.
 class EventQueue {
  public:
   void push(Time time, EventKind kind, TaskId task,
             MachineId machine = kInvalidMachine);
 
   bool empty() const { return heap_.empty(); }
+  /// Live (non-cancelled) events; cancelled entries leave the heap at once.
   std::size_t size() const { return heap_.size(); }
 
-  const Event& top() const { return heap_.top(); }
+  /// The next event to pop.  Never a cancelled event: cancellation removes
+  /// entries eagerly instead of hiding them behind a tombstone.
+  const Event& top() const { return heap_.front(); }
   Event pop();
 
-  /// Pops the next non-cancelled event, or returns nullopt if none remain.
+  /// Pops the next event, or returns nullopt if none remain.
   std::optional<Event> tryPop();
 
-  /// Marks a previously scheduled completion as void (e.g. the running task
-  /// was aborted); voided events are skipped transparently by pop().
-  /// Cancelling the same seq twice, or a seq that was never pushed, is
-  /// harmless (the entry is dropped the first time it surfaces, if ever).
+  /// Voids a previously scheduled event (e.g. the running task was
+  /// aborted): the entry is unlinked from the heap immediately.  Cancelling
+  /// a seq that is not live — already popped, already cancelled, or never
+  /// pushed — is a harmless no-op; nothing is recorded, so a stray seq can
+  /// never suppress a future event.
   void cancel(std::uint64_t seq);
 
-  /// Cancellations recorded but not yet skipped by a pop.
-  std::size_t pendingCancellations() const { return cancelled_.size(); }
+  /// Cancellations recorded but not yet applied.  Always zero: cancel()
+  /// frees entries eagerly instead of accumulating tombstones.  Kept so
+  /// abort-heavy regression tests can assert the invariant.
+  std::size_t pendingCancellations() const { return 0; }
 
- private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  /// O(1) membership test per popped event; deep abort-heavy runs used to
-  /// pay an O(n) scan of a vector here for every pop.
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t nextSeq_ = 0;
-
- public:
   /// Sequence number that the next push() will be assigned; lets callers
   /// remember a completion event so they can cancel it.
   std::uint64_t nextSeq() const { return nextSeq_; }
+
+ private:
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  void removeAt(std::size_t i);
+  void place(std::size_t i, Event e) {
+    pos_[e.seq] = static_cast<std::uint32_t>(i);
+    heap_[i] = std::move(e);
+  }
+
+  std::vector<Event> heap_;
+  /// pos_[seq] = heap index of that event, or kNotInHeap once it popped or
+  /// was cancelled.  Sequence numbers are dense (one per push), so a flat
+  /// vector replaces the hash probe on every cancel.
+  std::vector<std::uint32_t> pos_;
+  std::uint64_t nextSeq_ = 0;
 };
 
 }  // namespace hcs::sim

@@ -48,16 +48,29 @@ std::pair<std::int64_t, std::int64_t> Machine::availabilityBounds(
   return {lo + anchor, hi + anchor};
 }
 
+void Machine::foldPendingAppends(const ExecutionModel& model) const {
+  // Replays exactly the convolutions an eager dispatch would have done, in
+  // dispatch order, on the same accumulator — bit-identical, just deferred
+  // until something actually reads the tail.
+  if (pendingAppends_.empty()) return;
+  prob::PmfArena& arena = prob::PmfArena::local();
+  for (TaskType type : pendingAppends_) {
+    prob::convolveInPlace(arena, *tail_, model.pet(type, id_));
+  }
+  pendingAppends_.clear();
+}
+
 prob::DiscretePmf Machine::tailPct(Time now, const TaskPool& pool,
                                    const ExecutionModel& model) const {
   if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
+  foldPendingAppends(model);
   if (tail_.has_value()) return *tail_;
   if (empty()) return availabilityPct(now, pool, model);
   // Tail tracking is off: derive the tail from the full chain on demand.
   prob::PmfArena& arena = prob::PmfArena::local();
   prob::DiscretePmf acc = availabilityPct(now, pool, model);
-  for (TaskId id : queue_) {
-    prob::convolveInPlace(arena, acc, model.pet(pool[id].type, id_));
+  for (TaskType type : queueTypes_) {
+    prob::convolveInPlace(arena, acc, model.pet(type, id_));
   }
   return acc;
 }
@@ -65,6 +78,7 @@ prob::DiscretePmf Machine::tailPct(Time now, const TaskPool& pool,
 const prob::DiscretePmf& Machine::tailPctRef(Time now, const TaskPool& pool,
                                              const ExecutionModel& model) const {
   if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
+  foldPendingAppends(model);
   if (!tail_.has_value()) {
     throw std::logic_error("tailPctRef: Eq. 1 tail is not tracked");
   }
@@ -75,7 +89,17 @@ const prob::DiscretePmf& Machine::tailPctRef(Time now, const TaskPool& pool,
 std::pair<std::int64_t, std::int64_t> Machine::tailBounds(
     Time now, const TaskPool& pool, const ExecutionModel& model) const {
   if (tail_.has_value() && !tailDirty_) {
-    return {tail_->firstBin(), tail_->lastBin()};
+    std::int64_t lo = tail_->firstBin();
+    std::int64_t hi = tail_->lastBin();
+    // Pending lazy appends widen the interval by their PETs' support —
+    // exactly what folding them would produce (hi stays conservative
+    // under convolution capping, as documented).
+    for (TaskType type : pendingAppends_) {
+      const prob::DiscretePmf& pet = model.pet(type, id_);
+      lo += pet.firstBin();
+      hi += pet.lastBin();
+    }
+    return {lo, hi};
   }
   // No materialized tail (tracking off, machine empty, or a lazy rebuild
   // pending): derive the interval from the chain's factors.  A dirty tail
@@ -83,8 +107,8 @@ std::pair<std::int64_t, std::int64_t> Machine::tailBounds(
   // brackets exactly what tailPct() would materialize.
   const Time anchor = tailDirty_ ? tailDirtyAt_ : now;
   auto [lo, hi] = availabilityBounds(anchor, pool, model);
-  for (TaskId id : queue_) {
-    const prob::DiscretePmf& pet = model.pet(pool[id].type, id_);
+  for (TaskType type : queueTypes_) {
+    const prob::DiscretePmf& pet = model.pet(type, id_);
     lo += pet.firstBin();
     hi += pet.lastBin();
   }
@@ -124,13 +148,16 @@ Time Machine::expectedReady(Time now, const TaskPool& pool,
     ready += model.pet(task.type, id_)
                  .conditionalRemainingMean(now - runStart_);
   }
-  for (TaskId id : queue_) ready += model.expectedExec(pool[id].type, id_);
+  for (TaskType type : queueTypes_) ready += model.expectedExec(type, id_);
   return ready;
 }
 
 void Machine::tailChanged(Time now, const TaskPool& pool,
                           const ExecutionModel& model) {
   ++epoch_;
+  // Any reconditioning event re-derives the whole chain; un-folded lazy
+  // appends are subsumed by the rebuild.
+  pendingAppends_.clear();
   if (empty() || !trackTail_) {
     if (tail_.has_value()) {
       prob::PmfArena::local().recycle(std::move(*tail_));
@@ -150,6 +177,7 @@ void Machine::tailChanged(Time now, const TaskPool& pool,
 void Machine::rebuildTail(Time now, const TaskPool& pool,
                           const ExecutionModel& model) const {
   tailDirty_ = false;
+  pendingAppends_.clear();  // the rebuild walks the full queue
   prob::PmfArena& arena = prob::PmfArena::local();
   if (tail_.has_value()) {
     arena.recycle(std::move(*tail_));
@@ -157,8 +185,8 @@ void Machine::rebuildTail(Time now, const TaskPool& pool,
   }
   if (empty() || !trackTail_) return;
   prob::DiscretePmf acc = availabilityPct(now, pool, model);
-  for (TaskId id : queue_) {
-    prob::convolveInPlace(arena, acc, model.pet(pool[id].type, id_));
+  for (TaskType type : queueTypes_) {
+    prob::convolveInPlace(arena, acc, model.pet(type, id_));
   }
   tail_ = std::move(acc);
 }
@@ -179,22 +207,33 @@ bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
   t.queuedAt = now;
   ++epoch_;
   if (trackTail_) {
-    // Eq. 1: the new task's PCT extends the current tail by one convolution.
-    prob::PmfArena& arena = prob::PmfArena::local();
-    prob::DiscretePmf next = [&]() -> prob::DiscretePmf {
-      if (newTail != nullptr) return *newTail;
-      if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
-      const prob::DiscretePmf& pet = model.pet(t.type, id_);
-      if (tail_.has_value()) return prob::convolveInto(arena, *tail_, pet);
-      // No live tail (empty machine): start the chain from availability.
-      prob::DiscretePmf base = tailPct(now, pool, model);
-      prob::DiscretePmf out = prob::convolveInto(arena, base, pet);
-      arena.recycle(std::move(base));
-      return out;
-    }();
-    if (tail_.has_value()) arena.recycle(std::move(*tail_));
-    tail_ = std::move(next);
-    tailDirty_ = false;
+    if (newTail == nullptr && lazyTailRebuild_ &&
+        (tailDirty_ || tail_.has_value())) {
+      // Lazy Eq. 1 append: no caller handed over the convolution and
+      // nothing has read the tail since — queue the PET instead of paying
+      // now.  A pending full rebuild already covers the new task (it
+      // re-walks the whole queue, which is about to contain it).
+      if (!tailDirty_) pendingAppends_.push_back(t.type);
+    } else {
+      // Eq. 1: the new task's PCT extends the current tail by one
+      // convolution.
+      prob::PmfArena& arena = prob::PmfArena::local();
+      prob::DiscretePmf next = [&]() -> prob::DiscretePmf {
+        if (newTail != nullptr) return *newTail;
+        if (tailDirty_) rebuildTail(tailDirtyAt_, pool, model);
+        const prob::DiscretePmf& pet = model.pet(t.type, id_);
+        if (tail_.has_value()) return prob::convolveInto(arena, *tail_, pet);
+        // No live tail (empty machine): start the chain from availability.
+        prob::DiscretePmf base = tailPct(now, pool, model);
+        prob::DiscretePmf out = prob::convolveInto(arena, base, pet);
+        arena.recycle(std::move(base));
+        return out;
+      }();
+      if (tail_.has_value()) arena.recycle(std::move(*tail_));
+      tail_ = std::move(next);
+      tailDirty_ = false;
+      pendingAppends_.clear();
+    }
   }
   if (empty()) {
     startTask(task, now, pool);
@@ -202,6 +241,7 @@ bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
   }
   t.status = TaskStatus::Queued;
   queue_.push_back(task);
+  queueTypes_.push_back(t.type);
   return false;
 }
 
@@ -223,6 +263,7 @@ TaskId Machine::startNextIfIdle(Time now, TaskPool& pool,
   if (busy() || queue_.empty()) return kInvalidTask;
   const TaskId next = queue_.front();
   queue_.pop_front();
+  queueTypes_.erase(queueTypes_.begin());
   startTask(next, now, pool);
   tailChanged(now, pool, model);
   return next;
@@ -240,6 +281,7 @@ void Machine::removeQueued(TaskId task, Time now, TaskPool& pool,
   if (it == queue_.end()) {
     throw std::logic_error("removeQueued: task not queued on this machine");
   }
+  queueTypes_.erase(queueTypes_.begin() + (it - queue_.begin()));
   queue_.erase(it);
   tailChanged(now, pool, model);
 }

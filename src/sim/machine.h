@@ -57,6 +57,10 @@ class Machine {
   Time runningSince() const { return runStart_; }
 
   const std::deque<TaskId>& queue() const { return queue_; }
+  /// Task types of queue(), same order — a dense mirror so the hot queue
+  /// walks (expected-ready sums, Eq. 1 chain rebuilds) read one contiguous
+  /// array instead of gathering pool[id].type per task.
+  const std::vector<TaskType>& queueTypes() const { return queueTypes_; }
   std::size_t queueLength() const { return queue_.size(); }
   bool empty() const { return !busy() && queue_.empty(); }
 
@@ -125,6 +129,13 @@ class Machine {
   /// that already computed the appended PCT (e.g. through the PCT cache for
   /// the deferring check) hand it over instead of paying the Eq. 1
   /// convolution a second time.  Ignored when tail tracking is off.
+  ///
+  /// Without `newTail`, a lazy-rebuild machine with a live clean tail does
+  /// not convolve at dispatch time either: the task's PET joins a pending-
+  /// append list that the next tail read folds in (identical convolutions
+  /// in identical order — bit-identical results).  Configurations where
+  /// nothing reads the tail (no deferring, no chance-aware heuristic)
+  /// therefore never pay the Eq. 1 append at all.
   bool dispatch(TaskId task, Time now, TaskPool& pool,
                 const ExecutionModel& model,
                 const prob::DiscretePmf* newTail = nullptr);
@@ -154,6 +165,8 @@ class Machine {
 
  private:
   std::int64_t binAt(Time t) const;
+  /// Folds the pending lazy appends into tail_ (no-op when none).
+  void foldPendingAppends(const ExecutionModel& model) const;
   void tailChanged(Time now, const TaskPool& pool, const ExecutionModel& model);
   void rebuildTail(Time now, const TaskPool& pool,
                    const ExecutionModel& model) const;
@@ -166,6 +179,7 @@ class Machine {
   TaskId running_ = kInvalidTask;
   Time runStart_ = 0;
   std::deque<TaskId> queue_;
+  std::vector<TaskType> queueTypes_;  ///< mirror of queue_ (types)
   /// Eq. 1 recursion state; empty when the machine has no work.  Rebuilt
   /// lazily: mutations mark it dirty (remembering the mutation time) and the
   /// next tailPct() read re-derives the chain at that time — so a burst of
@@ -174,6 +188,10 @@ class Machine {
   mutable std::optional<prob::DiscretePmf> tail_;
   mutable bool tailDirty_ = false;
   Time tailDirtyAt_ = 0;
+  /// Task types dispatched since the last tail read, not yet folded into
+  /// tail_ (lazy Eq. 1 appends).  Invariant: empty whenever tailDirty_ —
+  /// a full rebuild re-derives the whole queue anyway.
+  mutable std::vector<TaskType> pendingAppends_;
   std::uint64_t epoch_ = 0;
   Time busyTime_ = 0;
 };

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "prob/pmf.h"
 #include "sim/event_queue.h"
 #include "sim/machine.h"
@@ -106,16 +108,17 @@ TEST(EventQueueTest, TryPopOnAllCancelledReturnsNullopt) {
   EXPECT_THROW(q.pop(), std::logic_error);
 }
 
-TEST(EventQueueTest, CancelThenPopClearsTheCancellation) {
+TEST(EventQueueTest, CancelRemovesTheEntryEagerly) {
   EventQueue q;
   const auto seq = q.nextSeq();
   q.push(1.0, EventKind::TaskCompletion, 1, 0);
   q.cancel(seq);
-  EXPECT_EQ(q.pendingCancellations(), 1u);
-  EXPECT_FALSE(q.tryPop().has_value());
-  // The cancellation was consumed when the event surfaced; a fresh event
-  // that happens to reuse nothing is unaffected.
+  // The entry left the heap at cancel time: no tombstone survives to be
+  // consumed by a later pop.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(q.pendingCancellations(), 0u);
+  EXPECT_FALSE(q.tryPop().has_value());
   q.push(2.0, EventKind::TaskArrival, 2);
   EXPECT_EQ(q.pop().task, 2);
 }
@@ -125,11 +128,15 @@ TEST(EventQueueTest, CancelUnknownSeqIsHarmless) {
   q.push(1.0, EventKind::TaskArrival, 1);
   q.cancel(9999);  // never pushed
   q.cancel(9999);  // and twice — duplicate cancellations collapse
-  EXPECT_EQ(q.pendingCancellations(), 1u);
+  EXPECT_EQ(q.pendingCancellations(), 0u);
   EXPECT_EQ(q.pop().task, 1);  // real events keep flowing
   EXPECT_FALSE(q.tryPop().has_value());
-  // The phantom cancellation stays pending but never matches anything.
-  EXPECT_EQ(q.pendingCancellations(), 1u);
+  // A stray seq records nothing, so it can never suppress a future event.
+  const auto futureSeq = q.nextSeq();
+  q.cancel(futureSeq);
+  q.push(3.0, EventKind::TaskArrival, 7);
+  EXPECT_EQ(q.pop().task, 7);
+  EXPECT_EQ(q.pendingCancellations(), 0u);
 }
 
 TEST(EventQueueTest, DoubleCancelOfOneEventSkipsItOnce) {
@@ -163,6 +170,73 @@ TEST(EventQueueTest, DrainAllWithInterleavedCancellations) {
   for (hcs::sim::TaskId id : popped) EXPECT_NE(id % 3, 0);
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.pendingCancellations(), 0u);
+}
+
+TEST(EventQueueTest, TopSkipsNothingAfterCancellingTheEarliest) {
+  EventQueue q;
+  const auto seq = q.nextSeq();
+  q.push(1.0, EventKind::TaskCompletion, 1, 0);
+  q.push(2.0, EventKind::TaskArrival, 2);
+  EXPECT_EQ(q.top().task, 1);
+  q.cancel(seq);
+  // In-place removal repairs the heap immediately: top() is always live.
+  EXPECT_EQ(q.top().task, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RandomizedPushPopCancelMatchesSortedOrder) {
+  // Model check against the (time, seq) contract: interleave pushes, pops,
+  // and cancellations driven by a deterministic LCG, mirroring the queue
+  // into a plain vector, and require the pop sequences to agree exactly.
+  EventQueue q;
+  std::vector<hcs::sim::Event> alive;  // mirror of live events
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto nextRand = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const auto r = nextRand() % 100;
+    if (r < 55 || q.empty()) {
+      // Coarse times force (time, seq) ties often.
+      const auto time = static_cast<double>(nextRand() % 16);
+      const auto seq = q.nextSeq();
+      q.push(time, EventKind::TaskArrival,
+             static_cast<hcs::sim::TaskId>(step));
+      alive.push_back(hcs::sim::Event{time, EventKind::TaskArrival,
+                                      static_cast<hcs::sim::TaskId>(step),
+                                      hcs::sim::kInvalidMachine, seq});
+    } else if (r < 80) {
+      const auto expect = std::min_element(
+          alive.begin(), alive.end(), [](const auto& a, const auto& b) {
+            return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+          });
+      const hcs::sim::Event got = q.pop();
+      EXPECT_EQ(got.seq, expect->seq);
+      EXPECT_EQ(got.task, expect->task);
+      alive.erase(expect);
+    } else {
+      // Cancel a random live event (sometimes a stale/future seq).
+      const auto target = nextRand() % (alive.size() + 2);
+      if (target < alive.size()) {
+        q.cancel(alive[target].seq);
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(target));
+      } else {
+        q.cancel(q.nextSeq() + nextRand() % 7);
+      }
+    }
+    ASSERT_EQ(q.size(), alive.size());
+    ASSERT_EQ(q.pendingCancellations(), 0u);
+  }
+  std::vector<std::uint64_t> seqs;
+  while (auto e = q.tryPop()) seqs.push_back(e->seq);
+  std::sort(alive.begin(), alive.end(), [](const auto& a, const auto& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  ASSERT_EQ(seqs.size(), alive.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], alive[i].seq);
+  }
 }
 
 // --- Machine: dispatch / completion lifecycle --------------------------------

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json artifacts against committed baselines.
+
+Each bench binary writes a flat JSON object (see bench/bench_util.h).  This
+script diffs a curated set of tracked metrics against the committed numbers
+under bench/baselines/ and fails (exit 1) when a metric regressed by more
+than the threshold (default 15%).  Metrics move with container weather, so
+the tracked set sticks to ratios and relative costs that are stable across
+machines rather than raw wall-clock where possible.
+
+Usage:
+  tools/bench_compare.py --current-dir build [--baseline-dir bench/baselines]
+                         [--threshold 0.15]
+
+A missing current artifact is skipped with a warning (benches are optional
+build targets); a missing baseline for a present artifact is reported so the
+baseline gets committed alongside the bench that produces it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# metric -> direction: "lower" = smaller is better, "higher" = bigger is
+# better.  Regression = worse than baseline by more than the threshold.
+TRACKED = {
+    "BENCH_pct_cache.json": {
+        "cache_speedup": "higher",
+        "cached_serial_ms": "lower",
+    },
+    "BENCH_pmf_kernel.json": {
+        "speedup": "higher",
+        "cdf_speedup": "higher",
+    },
+    "BENCH_mapping_engine.json": {
+        "speedup_512": "higher",
+        "engine_us_512_incremental": "lower",
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default="build")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
+    args = parser.parse_args()
+
+    failures = []
+    compared = 0
+    for artifact, metrics in TRACKED.items():
+        current_path = os.path.join(args.current_dir, artifact)
+        baseline_path = os.path.join(args.baseline_dir, artifact)
+        if not os.path.exists(current_path):
+            print(f"skip  {artifact}: not produced in {args.current_dir}")
+            continue
+        if not os.path.exists(baseline_path):
+            print(f"warn  {artifact}: no committed baseline in "
+                  f"{args.baseline_dir} — commit one")
+            continue
+        current = load(current_path)
+        baseline = load(baseline_path)
+        for metric, direction in metrics.items():
+            if metric not in current or metric not in baseline:
+                print(f"warn  {artifact}:{metric} missing on one side")
+                continue
+            cur, base = float(current[metric]), float(baseline[metric])
+            if base == 0:
+                continue
+            if direction == "lower":
+                change = (cur - base) / base
+            else:
+                change = (base - cur) / base
+            compared += 1
+            status = "FAIL" if change > args.threshold else "ok"
+            trend = (f"+{change * 100:.1f}% worse" if change >= 0
+                     else f"{-change * 100:.1f}% better")
+            print(f"{status:4}  {artifact}:{metric}  baseline {base:g}  "
+                  f"current {cur:g}  ({trend})")
+            if change > args.threshold:
+                failures.append(f"{artifact}:{metric}")
+
+    if not compared:
+        print("no metrics compared — nothing produced or no baselines")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} tracked metric(s) regressed "
+              f">{args.threshold * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print(f"\nbench_compare: {compared} tracked metric(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

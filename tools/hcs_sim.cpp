@@ -46,6 +46,9 @@ void usage(const char* argv0) {
       "  --abort-overdue    abort running tasks at their deadline\n"
       "  --no-pct-cache     disable PCT memoization (results identical;\n"
       "                     for timing comparisons)\n"
+      "  --no-incremental-map  use the reference mapping engine (fresh\n"
+      "                     context + full re-evaluation per round; results\n"
+      "                     identical, for timing comparisons)\n"
       "  --trace FILE       replay a saved workload trace (single trial)\n"
       "  --save-trace FILE  save trial 0's workload to FILE and exit\n"
       "  --csv              machine-readable output\n",
@@ -130,6 +133,8 @@ int main(int argc, char** argv) {
       sim.abortRunningAtDeadline = true;
     } else if (arg == "--no-pct-cache") {
       sim.pctCacheEnabled = false;
+    } else if (arg == "--no-incremental-map") {
+      sim.incrementalMappingEnabled = false;
     } else if (arg == "--trace") {
       tracePath = next();
     } else if (arg == "--save-trace") {
