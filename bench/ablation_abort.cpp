@@ -1,38 +1,17 @@
-// Ablation: the abort-at-deadline policy (DESIGN.md).  The paper lets a
-// started task finish even after its deadline passes; the alternative
-// aborts it at the next mapping event and frees the machine.  This bench
-// quantifies that design choice for the batch heuristics.
+// Ablation: abort-at-deadline policy — thin wrapper over
+// scenarios/ablation_abort.json.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Ablation: abort running task at deadline",
+  bench::runScenarioFigure(
+      args, "ablation_abort.json", "Ablation: abort running task at deadline",
       "Batch heuristics + full pruning at 25k-equivalent spiky load, with "
       "the\nrun-to-completion policy (paper) vs abort-at-deadline.");
-
-  exp::Table table({"heuristic", "run to completion", "abort at deadline"});
-  for (const char* heuristic : {"MM", "MSD", "MMU"}) {
-    std::vector<std::string> row = {heuristic};
-    for (bool abort : {false, true}) {
-      exp::ExperimentSpec spec = scenario.experimentSpec(
-          exp::PaperScenario::kRate25k, workload::ArrivalPattern::Spiky);
-      spec.sim.heuristic = heuristic;
-      spec.sim.abortRunningAtDeadline = abort;
-      const exp::ExperimentResult result =
-          exp::runExperiment(scenario.hetero(), spec);
-      row.push_back(exp::formatCi(result.robustnessCi));
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-
   if (!args.csv) {
     std::cout << "\nExpected: with pruning already deferring and dropping "
                  "doomed tasks, few overdue\ntasks ever start, so aborting "

@@ -1,41 +1,17 @@
-// Ablation: KPB's K parameter (§III-B).  K -> 100% degenerates to MCT,
-// K -> 1/M degenerates to MET; the sweet spot balances affinity against
-// load awareness.  Run with and without dropping to show pruning shifts
-// the optimum.
+// Ablation: KPB's K parameter — thin wrapper over
+// scenarios/ablation_kpb.json.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Ablation: KPB's K",
+  bench::runScenarioFigure(
+      args, "ablation_kpb.json", "Ablation: KPB's K",
       "KPB at 15k-equivalent spiky load; K is the fraction of machines "
       "(by affinity)\nconsidered for completion-time mapping.");
-
-  exp::Table table({"K", "baseline", "reactive dropping"});
-  for (double k : {0.125, 0.25, 0.375, 0.5, 0.75, 1.0}) {
-    exp::ExperimentSpec spec = scenario.experimentSpec(
-        exp::PaperScenario::kRate15k, workload::ArrivalPattern::Spiky);
-    spec.sim.heuristic = "KPB";
-    spec.sim.heuristicOptions.kpbPercent = k;
-    spec.sim.pruning = pruning::PruningConfig::disabled();
-    const exp::ExperimentResult base =
-        exp::runExperiment(scenario.hetero(), spec);
-    spec.sim.pruning = pruning::PruningConfig{};
-    spec.sim.pruning.deferEnabled = false;  // immediate mode: dropping only
-    const exp::ExperimentResult dropped =
-        exp::runExperiment(scenario.hetero(), spec);
-    table.addRow({exp::formatValue(k * 100.0, 1) + "%",
-                  exp::formatCi(base.robustnessCi),
-                  exp::formatCi(dropped.robustnessCi)});
-  }
-  bench::emit(args, table);
-
   if (!args.csv) {
     std::cout << "\nExpected: small K behaves like MET (affinity-blinkered), "
                  "K=100% like MCT;\ndropping lifts the whole curve.\n";

@@ -1,39 +1,34 @@
-// Ablation: machine-queue capacity (the paper fixes it implicitly; DESIGN.md
-// defaults to 4 = running + 3 waiting).  Deeper queues commit tasks to
-// machines earlier — exactly what lazy mapping (deferring) argues against —
-// so pruning's advantage should widen as capacity grows.
+// Ablation: machine-queue capacity — thin wrapper over
+// scenarios/ablation_queue_depth.json, plus the derived "pruning gain"
+// column the generic pivot doesn't compute.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
+  const exp::ScenarioDoc doc =
+      bench::loadScenario(args, "ablation_queue_depth.json");
   bench::printHeader(
       args, "Ablation: machine-queue capacity",
       "MM with and without pruning at 20k-equivalent spiky load, varying "
       "the\nper-machine queue capacity (running + waiting slots).");
 
+  const std::vector<exp::SweepOutcome> outcomes = exp::runSweep(doc);
+  // Grid: capacity (rows) x {baseline, pruned} (2 columns, last axis
+  // fastest).
   exp::Table table(
       {"capacity", "MM baseline", "MM pruned", "pruning gain (pp)"});
-  for (std::size_t capacity : {1u, 2u, 4u, 8u, 16u}) {
-    exp::ExperimentSpec spec = scenario.experimentSpec(
-        exp::PaperScenario::kRate20k, workload::ArrivalPattern::Spiky);
-    spec.sim.heuristic = "MM";
-    spec.sim.machineQueueCapacity = capacity;
-    spec.sim.pruning = pruning::PruningConfig::disabled();
-    const exp::ExperimentResult base =
-        exp::runExperiment(scenario.hetero(), spec);
-    spec.sim.pruning = pruning::PruningConfig{};
-    const exp::ExperimentResult pruned =
-        exp::runExperiment(scenario.hetero(), spec);
-    table.addRow({std::to_string(capacity), exp::formatCi(base.robustnessCi),
-                  exp::formatCi(pruned.robustnessCi),
-                  exp::formatValue(pruned.robustnessCi.mean -
-                                       base.robustnessCi.mean,
+  for (std::size_t r = 0; r + 1 < outcomes.size(); r += 2) {
+    const exp::SweepOutcome& base = outcomes[r];
+    const exp::SweepOutcome& pruned = outcomes[r + 1];
+    table.addRow({base.point.labels[0],
+                  exp::formatCi(base.result.robustnessCi),
+                  exp::formatCi(pruned.result.robustnessCi),
+                  exp::formatValue(pruned.result.robustnessCi.mean -
+                                       base.result.robustnessCi.mean,
                                    1)});
   }
   bench::emit(args, table);

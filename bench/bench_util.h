@@ -21,6 +21,7 @@
 
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "exp/sweep.h"
 
 namespace hcs::bench {
 
@@ -126,6 +127,39 @@ inline void emit(const BenchArgs& args, const exp::Table& table) {
     table.print(std::cout);
   }
   std::cout << std::flush;
+}
+
+/// Loads `fileName` from the committed scenarios/ library and overrides its
+/// run block with the bench flags (--full/--scale/--trials/--jobs and the
+/// HCS_* env defaults), so the wrappers stay drivable exactly like the old
+/// hardcoded benches.
+inline exp::ScenarioDoc loadScenario(const BenchArgs& args,
+                                     const char* fileName) {
+  const std::string path = std::string(HCS_SCENARIO_DIR) + "/" + fileName;
+  exp::ScenarioDoc doc = exp::loadScenarioDoc(path);
+  exp::setJsonPath(doc.base, "run.scale",
+                   util::JsonValue(args.scenario.scale));
+  exp::setJsonPath(doc.base, "run.trials",
+                   util::JsonValue(args.scenario.trials));
+  exp::setJsonPath(doc.base, "run.jobs", util::JsonValue(args.scenario.jobs));
+  return doc;
+}
+
+/// The whole body of a scenario-driven figure bench: load, sweep, pivot.
+/// Returns the outcomes for benches that post-process (derived columns).
+inline std::vector<exp::SweepOutcome> runScenarioFigure(
+    const BenchArgs& args, const char* fileName, const char* figure,
+    const char* caption) {
+  const exp::ScenarioDoc doc = loadScenario(args, fileName);
+  // The header's provenance line must show the seed actually used — the
+  // scenario file's pet.seed, not the BenchArgs default.
+  BenchArgs shown = args;
+  shown.scenario.petSeed = doc.baseSpec().petSeed;
+  printHeader(shown, figure, caption);
+  const std::vector<exp::SweepOutcome> outcomes = exp::runSweep(doc);
+  exp::printSweepTables(std::cout, doc, outcomes, args.csv);
+  std::cout << std::flush;
+  return outcomes;
 }
 
 }  // namespace hcs::bench

@@ -1,6 +1,8 @@
 // Fig. 6: the spiky task-arrival pattern.  Prints the per-type arrival rate
 // over time (bucketed counts) for four task types, the same series the
-// figure plots, plus the underlying piecewise-constant rate profile.
+// figure plots, plus the underlying piecewise-constant rate profile.  The
+// arrival configuration comes from scenarios/fig06_arrival_pattern.json;
+// this binary only buckets and renders.
 
 #include <cstdio>
 #include <vector>
@@ -11,15 +13,18 @@
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(args, "Fig. 6",
+  const exp::ScenarioDoc doc =
+      bench::loadScenario(args, "fig06_arrival_pattern.json");
+  const exp::ScenarioSpec scenarioSpec = doc.baseSpec();
+  const exp::BoundScenario bound = exp::bindScenario(scenarioSpec);
+  bench::BenchArgs shown = args;
+  shown.scenario.petSeed = scenarioSpec.petSeed;
+  bench::printHeader(shown, "Fig. 6",
                      "Spiky arrival pattern: per-type arrival rate vs time "
                      "(4 of 12 task types shown, as in the paper).");
 
-  const auto spec =
-      scenario.arrivalSpec(exp::PaperScenario::kRate15k,
-                           workload::ArrivalPattern::Spiky);
-  prob::Rng rng(args.scenario.petSeed);
+  const workload::ArrivalSpec& spec = bound.experiment.arrival;
+  prob::Rng rng(scenarioSpec.petSeed);
   const auto arrivals = workload::generateArrivals(spec, rng);
 
   constexpr int kBuckets = 40;

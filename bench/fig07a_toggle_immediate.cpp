@@ -1,55 +1,19 @@
-// Fig. 7a: impact of the Toggle module on immediate-mode mapping heuristics
-// (RR, MCT, MET, KPB) in a heterogeneous system.  Three scenarios:
-//   no Toggle / no dropping      — the plain heuristic (no pruning at all)
-//   no Toggle / always dropping  — proactive dropping at every event
-//   reactive Toggle              — dropping engaged on observed misses
-// Deferring is not applicable in immediate mode (no arrival queue).
+// Fig. 7a — thin wrapper over scenarios/fig07a_toggle_immediate.json; the
+// Toggle-mode grid lives in the scenario file, execution and the pivot
+// table in the shared sweep runner.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Fig. 7a",
+  bench::runScenarioFigure(
+      args, "fig07a_toggle_immediate.json", "Fig. 7a",
       "Toggle impact on immediate-mode heuristics, heterogeneous cluster,\n"
       "spiky arrivals, 15k-equivalent load.  Cells: % tasks completed on "
       "time (mean ±95% CI).");
-
-  const std::vector<std::pair<std::string, pruning::PruningConfig>> modes = [] {
-    pruning::PruningConfig off = pruning::PruningConfig::disabled();
-    pruning::PruningConfig always;
-    always.deferEnabled = false;
-    always.toggle = pruning::ToggleMode::AlwaysDropping;
-    pruning::PruningConfig reactive;
-    reactive.deferEnabled = false;
-    reactive.toggle = pruning::ToggleMode::Reactive;
-    return std::vector<std::pair<std::string, pruning::PruningConfig>>{
-        {"no Toggle, no dropping", off},
-        {"no Toggle, always dropping", always},
-        {"reactive Toggle", reactive}};
-  }();
-
-  exp::Table table({"scenario", "RR", "MCT", "MET", "KPB"});
-  for (const auto& [label, pruningConfig] : modes) {
-    std::vector<std::string> row = {label};
-    for (const char* heuristic : {"RR", "MCT", "MET", "KPB"}) {
-      exp::ExperimentSpec spec = scenario.experimentSpec(
-          exp::PaperScenario::kRate15k, workload::ArrivalPattern::Spiky);
-      spec.sim.heuristic = heuristic;
-      spec.sim.pruning = pruningConfig;
-      const exp::ExperimentResult result =
-          exp::runExperiment(scenario.hetero(), spec);
-      row.push_back(exp::formatCi(result.robustnessCi));
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-
   if (!args.csv) {
     std::cout << "\nPaper shape: dropping (always or reactive) improves "
                  "every completion-aware heuristic\n(MCT/MET/KPB, up to "

@@ -1,52 +1,17 @@
-// Fig. 7b: impact of the Toggle module on batch-mode mapping heuristics
-// (MM, MSD, MMU) in a heterogeneous system — same three scenarios as
-// Fig. 7a, with deferring disabled to isolate the dropping operation.
+// Fig. 7b — thin wrapper over scenarios/fig07b_toggle_batch.json.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Fig. 7b",
+  bench::runScenarioFigure(
+      args, "fig07b_toggle_batch.json", "Fig. 7b",
       "Toggle impact on batch-mode heuristics, heterogeneous cluster,\n"
       "spiky arrivals, 15k-equivalent load.  Cells: % tasks completed on "
       "time (mean ±95% CI).");
-
-  const std::vector<std::pair<std::string, pruning::PruningConfig>> modes = [] {
-    pruning::PruningConfig off = pruning::PruningConfig::disabled();
-    pruning::PruningConfig always;
-    always.deferEnabled = false;
-    always.toggle = pruning::ToggleMode::AlwaysDropping;
-    pruning::PruningConfig reactive;
-    reactive.deferEnabled = false;
-    reactive.toggle = pruning::ToggleMode::Reactive;
-    return std::vector<std::pair<std::string, pruning::PruningConfig>>{
-        {"no Toggle, no dropping", off},
-        {"no Toggle, always dropping", always},
-        {"reactive Toggle", reactive}};
-  }();
-
-  exp::Table table({"scenario", "MM", "MSD", "MMU"});
-  for (const auto& [label, pruningConfig] : modes) {
-    std::vector<std::string> row = {label};
-    for (const char* heuristic : {"MM", "MSD", "MMU"}) {
-      exp::ExperimentSpec spec = scenario.experimentSpec(
-          exp::PaperScenario::kRate15k, workload::ArrivalPattern::Spiky);
-      spec.sim.heuristic = heuristic;
-      spec.sim.pruning = pruningConfig;
-      const exp::ExperimentResult result =
-          exp::runExperiment(scenario.hetero(), spec);
-      row.push_back(exp::formatCi(result.robustnessCi));
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-
   if (!args.csv) {
     std::cout << "\nPaper shape: task dropping raises batch-mode robustness "
                  "(up to ~19 points), with the\nreactive Toggle at least "

@@ -1,46 +1,17 @@
-// Fig. 8: impact of task deferring on batch-mode heuristics under heavy
-// oversubscription (25k-equivalent).  Pruning Threshold swept over
-// {0, 25, 50, 75}%; dropping disabled so deferring is isolated.  The 0%
-// point is the paper's "no task pruning" baseline (no pruning mechanism at
-// all).
+// Fig. 8 — thin wrapper over scenarios/fig08_deferring_threshold.json.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Fig. 8",
+  bench::runScenarioFigure(
+      args, "fig08_deferring_threshold.json", "Fig. 8",
       "Task deferring vs Pruning Threshold, batch-mode heuristics,\n"
       "heterogeneous cluster, spiky arrivals, 25k-equivalent load.\n"
       "Cells: % tasks completed on time (mean ±95% CI).");
-
-  exp::Table table({"threshold", "MM", "MSD", "MMU"});
-  for (double threshold : {0.0, 0.25, 0.50, 0.75}) {
-    std::vector<std::string> row = {
-        exp::formatValue(threshold * 100.0, 0) + "%"};
-    for (const char* heuristic : {"MM", "MSD", "MMU"}) {
-      exp::ExperimentSpec spec = scenario.experimentSpec(
-          exp::PaperScenario::kRate25k, workload::ArrivalPattern::Spiky);
-      spec.sim.heuristic = heuristic;
-      if (threshold == 0.0) {
-        spec.sim.pruning = pruning::PruningConfig::disabled();
-      } else {
-        spec.sim.pruning.toggle = pruning::ToggleMode::NoDropping;
-        spec.sim.pruning.threshold = threshold;
-      }
-      const exp::ExperimentResult result =
-          exp::runExperiment(scenario.hetero(), spec);
-      row.push_back(exp::formatCi(result.robustnessCi));
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-
   if (!args.csv) {
     std::cout
         << "\nPaper shape: without deferring (0%) robustness collapses "

@@ -1,60 +1,22 @@
-// Fig. 9: the full pruning mechanism (reactive Toggle + 50% threshold,
-// deferring + dropping) on batch-mode heuristics across oversubscription
-// levels (15k/20k/25k) under (a) constant and (b) spiky arrival patterns.
-// "-P" marks a heuristic with the pruning mechanism attached.
+// Fig. 9 — thin wrapper over scenarios/fig09_batch_pruning.json; the
+// pattern x rate x (heuristic, pruning) grid is declarative, with the
+// paired base seed giving every variant the same workload trials.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
-
-namespace {
-
-void runPattern(const hcs::bench::BenchArgs& args,
-                const hcs::exp::PaperScenario& scenario,
-                hcs::workload::ArrivalPattern pattern, const char* label) {
-  using namespace hcs;
-  if (!args.csv) std::cout << "--- " << label << " arrival pattern ---\n";
-  exp::Table table({"rate", "MM", "MSD", "MMU", "MM-P", "MSD-P", "MMU-P"});
-  for (std::size_t rate :
-       {exp::PaperScenario::kRate15k, exp::PaperScenario::kRate20k,
-        exp::PaperScenario::kRate25k}) {
-    std::vector<std::string> row = {std::to_string(rate / 1000) + "k"};
-    for (bool prune : {false, true}) {
-      for (const char* heuristic : {"MM", "MSD", "MMU"}) {
-        exp::ExperimentSpec spec = scenario.experimentSpec(rate, pattern);
-        spec.sim.heuristic = heuristic;
-        spec.sim.pruning = prune ? pruning::PruningConfig{}
-                                 : pruning::PruningConfig::disabled();
-        const exp::ExperimentResult result =
-            exp::runExperiment(scenario.hetero(), spec);
-        row.push_back(exp::formatCi(result.robustnessCi));
-      }
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-  if (!args.csv) std::cout << "\n";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Fig. 9",
+  bench::runScenarioFigure(
+      args, "fig09_batch_pruning.json", "Fig. 9",
       "Pruning mechanism on batch-mode heuristics vs oversubscription "
       "level,\nheterogeneous cluster.  Cells: % tasks completed on time "
       "(mean ±95% CI).\n\"-P\" = with pruning (reactive Toggle, 50% "
       "threshold, deferring + dropping).");
-
-  runPattern(args, scenario, workload::ArrivalPattern::Constant, "Constant");
-  runPattern(args, scenario, workload::ArrivalPattern::Spiky, "Spiky");
-
   if (!args.csv) {
-    std::cout << "Paper shape: pruning improves robustness everywhere; the "
+    std::cout << "\nPaper shape: pruning improves robustness everywhere; the "
                  "gain grows with\noversubscription and is largest for "
                  "MSD/MMU (tens of points; MM ~15 points).\n";
   }

@@ -1,60 +1,19 @@
-// Fig. 10: the pruning mechanism on homogeneous-system mapping heuristics
-// (FCFS-RR, SJF, EDF) across oversubscription levels under (a) constant and
-// (b) spiky arrival patterns.  The cluster is the same machine count as the
-// heterogeneous one, all bound to the median-speed machine type.
+// Fig. 10 — thin wrapper over scenarios/fig10_homogeneous_pruning.json.
 
 #include <iostream>
 
 #include "bench_util.h"
-#include "exp/experiment.h"
-
-namespace {
-
-void runPattern(const hcs::bench::BenchArgs& args,
-                const hcs::exp::PaperScenario& scenario,
-                hcs::workload::ArrivalPattern pattern, const char* label) {
-  using namespace hcs;
-  if (!args.csv) std::cout << "--- " << label << " arrival pattern ---\n";
-  exp::Table table({"rate", "FCFS-RR", "SJF", "EDF", "FCFS-RR-P", "SJF-P",
-                    "EDF-P"});
-  for (std::size_t rate :
-       {exp::PaperScenario::kRate15k, exp::PaperScenario::kRate20k,
-        exp::PaperScenario::kRate25k}) {
-    std::vector<std::string> row = {std::to_string(rate / 1000) + "k"};
-    for (bool prune : {false, true}) {
-      for (const char* heuristic : {"FCFS-RR", "SJF", "EDF"}) {
-        exp::ExperimentSpec spec = scenario.experimentSpec(rate, pattern);
-        spec.sim.heuristic = heuristic;
-        spec.sim.pruning = prune ? pruning::PruningConfig{}
-                                 : pruning::PruningConfig::disabled();
-        const exp::ExperimentResult result =
-            exp::runExperiment(scenario.homo(), spec);
-        row.push_back(exp::formatCi(result.robustnessCi));
-      }
-    }
-    table.addRow(std::move(row));
-  }
-  bench::emit(args, table);
-  if (!args.csv) std::cout << "\n";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hcs;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-  const exp::PaperScenario scenario(args.scenario);
-  bench::printHeader(
-      args, "Fig. 10",
+  bench::runScenarioFigure(
+      args, "fig10_homogeneous_pruning.json", "Fig. 10",
       "Pruning mechanism on homogeneous-system heuristics vs "
       "oversubscription level.\nCells: % tasks completed on time (mean "
       "±95% CI).  \"-P\" = with pruning.");
-
-  runPattern(args, scenario, workload::ArrivalPattern::Constant, "Constant");
-  runPattern(args, scenario, workload::ArrivalPattern::Spiky, "Spiky");
-
   if (!args.csv) {
-    std::cout << "Paper shape: pruning raises homogeneous-system robustness "
+    std::cout << "\nPaper shape: pruning raises homogeneous-system robustness "
                  "at every load (up to ~28\npoints), more so as "
                  "oversubscription grows; EDF/SJF collapse at 25k without "
                  "pruning and\nrecover to >30% with it.\n";

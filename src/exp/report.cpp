@@ -85,4 +85,214 @@ std::string formatCi(const stats::ConfidenceInterval& ci, int precision) {
          formatValue(ci.halfWidth, precision);
 }
 
+Table experimentMetricsTable(const ExperimentResult& result) {
+  Table table({"metric", "mean ±95% CI"});
+  table.addRow({"robustness (% on time)", formatCi(result.robustnessCi)});
+  table.addRow({"completed late %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.completedLatePct))});
+  table.addRow({"dropped reactive %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.droppedReactivePct))});
+  table.addRow({"dropped proactive %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.droppedProactivePct))});
+  table.addRow({"deferrals per task",
+                formatCi(stats::meanConfidenceInterval(
+                    result.deferralsPerTask), 2)});
+  table.addRow({"mean machine utilization",
+                formatCi(stats::meanConfidenceInterval(
+                    result.meanUtilization), 2)});
+  return table;
+}
+
+namespace {
+
+/// The sweep metrics reported per grid point, in report order.
+struct MetricColumn {
+  const char* key;
+  stats::ConfidenceInterval (*extract)(const ExperimentResult&);
+};
+
+stats::ConfidenceInterval ciOf(const stats::RunningStats& stats) {
+  return stats::meanConfidenceInterval(stats);
+}
+
+constexpr MetricColumn kMetrics[] = {
+    {"robustness_pct",
+     [](const ExperimentResult& r) { return r.robustnessCi; }},
+    {"completed_late_pct",
+     [](const ExperimentResult& r) { return ciOf(r.completedLatePct); }},
+    {"dropped_reactive_pct",
+     [](const ExperimentResult& r) { return ciOf(r.droppedReactivePct); }},
+    {"dropped_proactive_pct",
+     [](const ExperimentResult& r) { return ciOf(r.droppedProactivePct); }},
+    {"deferrals_per_task",
+     [](const ExperimentResult& r) { return ciOf(r.deferralsPerTask); }},
+    {"mean_utilization",
+     [](const ExperimentResult& r) { return ciOf(r.meanUtilization); }},
+};
+
+void emitTable(std::ostream& out, const Table& table, bool csv) {
+  if (csv) {
+    table.printCsv(out);
+  } else {
+    table.print(out);
+  }
+}
+
+}  // namespace
+
+util::JsonValue sweepReportJson(const ScenarioDoc& doc,
+                                const std::vector<SweepOutcome>& outcomes) {
+  using util::JsonValue;
+  const ScenarioSpec base = doc.baseSpec();
+  JsonValue root = JsonValue::makeObject();
+  root.set("schema", "hcs-scenario-report-v1");
+  root.set("name", base.name);
+  root.set("description", base.description);
+  // The fully-resolved canonical config, so the golden report also locks
+  // default resolution, not just the file's explicit keys.
+  root.set("config", scenarioSpecToJson(base));
+
+  JsonValue axes = JsonValue::makeArray();
+  for (const SweepAxis& axis : doc.axes) {
+    JsonValue a = JsonValue::makeObject();
+    a.set("label", axis.label);
+    if (!axis.field.empty()) a.set("field", axis.field);
+    JsonValue points = JsonValue::makeArray();
+    for (const std::string& l : axis.valueLabels) points.append(l);
+    a.set("points", std::move(points));
+    axes.append(std::move(a));
+  }
+  root.set("axes", std::move(axes));
+
+  JsonValue results = JsonValue::makeArray();
+  for (const SweepOutcome& outcome : outcomes) {
+    JsonValue record = JsonValue::makeObject();
+    JsonValue labels = JsonValue::makeArray();
+    for (const std::string& l : outcome.point.labels) labels.append(l);
+    record.set("labels", std::move(labels));
+    for (const MetricColumn& metric : kMetrics) {
+      const stats::ConfidenceInterval ci = metric.extract(outcome.result);
+      JsonValue m = JsonValue::makeObject();
+      m.set("mean", ci.mean);
+      m.set("ci95", ci.halfWidth);
+      record.set(metric.key, std::move(m));
+    }
+    JsonValue trials = JsonValue::makeArray();
+    for (double r : outcome.result.perTrialRobustness) trials.append(r);
+    record.set("per_trial_robustness", std::move(trials));
+    results.append(std::move(record));
+  }
+  root.set("results", std::move(results));
+  return root;
+}
+
+namespace {
+
+/// RFC-4180 quoting for the flat CSV (axis labels like "no Toggle, no
+/// dropping" contain commas).
+void writeCsvField(std::ostream& out, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void printSweepCsv(std::ostream& out, const ScenarioDoc& doc,
+                   const std::vector<SweepOutcome>& outcomes) {
+  for (std::size_t a = 0; a < doc.axes.size(); ++a) {
+    if (a > 0) out << ',';
+    writeCsvField(out, doc.axes[a].label);
+  }
+  for (const MetricColumn& metric : kMetrics) {
+    if (!doc.axes.empty() || &metric != &kMetrics[0]) out << ',';
+    out << metric.key << "_mean," << metric.key << "_ci95";
+  }
+  out << '\n';
+  for (const SweepOutcome& outcome : outcomes) {
+    for (std::size_t a = 0; a < outcome.point.labels.size(); ++a) {
+      if (a > 0) out << ',';
+      writeCsvField(out, outcome.point.labels[a]);
+    }
+    for (const MetricColumn& metric : kMetrics) {
+      const stats::ConfidenceInterval ci = metric.extract(outcome.result);
+      if (!doc.axes.empty() || &metric != &kMetrics[0]) out << ',';
+      out << util::formatJsonNumber(ci.mean) << ','
+          << util::formatJsonNumber(ci.halfWidth);
+    }
+    out << '\n';
+  }
+}
+
+void printSweepTables(std::ostream& out, const ScenarioDoc& doc,
+                      const std::vector<SweepOutcome>& outcomes, bool csv) {
+  const std::size_t numAxes = doc.axes.size();
+  if (numAxes == 0) {
+    if (!outcomes.empty()) {
+      emitTable(out, experimentMetricsTable(outcomes.front().result), csv);
+    }
+    return;
+  }
+  if (numAxes == 1) {
+    Table table({doc.axes[0].label, "robustness %", "late %",
+                 "dropped reactive %", "dropped proactive %",
+                 "deferrals/task", "utilization"});
+    for (const SweepOutcome& outcome : outcomes) {
+      const ExperimentResult& r = outcome.result;
+      table.addRow(
+          {outcome.point.labels[0], formatCi(r.robustnessCi),
+           formatCi(ciOf(r.completedLatePct)),
+           formatCi(ciOf(r.droppedReactivePct)),
+           formatCi(ciOf(r.droppedProactivePct)),
+           formatCi(ciOf(r.deferralsPerTask), 2),
+           formatCi(ciOf(r.meanUtilization), 2)});
+    }
+    emitTable(out, table, csv);
+    return;
+  }
+
+  const SweepAxis& rowAxis = doc.axes[numAxes - 2];
+  const SweepAxis& colAxis = doc.axes[numAxes - 1];
+  const std::size_t cols = colAxis.size();
+  const std::size_t rows = rowAxis.size();
+  const std::size_t sectionSize = rows * cols;
+  const std::size_t sections = outcomes.size() / sectionSize;
+  for (std::size_t s = 0; s < sections; ++s) {
+    if (!csv && numAxes > 2) {
+      out << "--- ";
+      for (std::size_t a = 0; a + 2 < numAxes; ++a) {
+        if (a > 0) out << ", ";
+        out << doc.axes[a].label << "="
+            << outcomes[s * sectionSize].point.labels[a];
+      }
+      out << " ---\n";
+    }
+    std::vector<std::string> header = {rowAxis.label};
+    header.insert(header.end(), colAxis.valueLabels.begin(),
+                  colAxis.valueLabels.end());
+    Table table(std::move(header));
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row = {rowAxis.valueLabels[r]};
+      for (std::size_t c = 0; c < cols; ++c) {
+        const SweepOutcome& outcome =
+            outcomes[s * sectionSize + r * cols + c];
+        row.push_back(formatCi(outcome.result.robustnessCi));
+      }
+      table.addRow(std::move(row));
+    }
+    emitTable(out, table, csv);
+    if (!csv && s + 1 < sections) out << '\n';
+  }
+}
+
 }  // namespace hcs::exp

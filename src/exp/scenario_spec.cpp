@@ -1,0 +1,645 @@
+#include "exp/scenario_spec.h"
+
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "heuristics/registry.h"
+
+namespace hcs::exp {
+
+namespace {
+
+using util::JsonValue;
+
+[[noreturn]] void fail(const JsonValue& at, const std::string& message) {
+  std::ostringstream out;
+  if (at.line() > 0) out << "line " << at.line() << ": ";
+  out << message;
+  throw ScenarioError(out.str());
+}
+
+/// Strict object reader: every key must be consumed via get(); done()
+/// rejects the rest with their source lines.
+class Fields {
+ public:
+  Fields(const JsonValue& json, const char* context)
+      : json_(&json), context_(context) {
+    if (!json.isObject()) fail(json, std::string(context) + ": expected an object");
+    used_.assign(json.object().size(), false);
+  }
+
+  const JsonValue* get(const char* key) {
+    const auto& members = json_->object();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].first == key) {
+        used_[i] = true;
+        return &members[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  void done() const {
+    const auto& members = json_->object();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!used_[i]) {
+        fail(members[i].second, std::string(context_) + ": unknown key \"" +
+                                    members[i].first + "\"");
+      }
+    }
+  }
+
+ private:
+  const JsonValue* json_;
+  const char* context_;
+  std::vector<bool> used_;
+};
+
+double getNumber(const JsonValue& v, const char* what) {
+  if (!v.isNumber()) fail(v, std::string(what) + ": expected a number");
+  return v.asNumber();
+}
+
+double getPositive(const JsonValue& v, const char* what) {
+  const double x = getNumber(v, what);
+  if (!(x > 0.0)) fail(v, std::string(what) + ": must be positive");
+  return x;
+}
+
+double getFraction(const JsonValue& v, const char* what) {
+  const double x = getNumber(v, what);
+  if (!(x >= 0.0 && x <= 1.0)) fail(v, std::string(what) + ": must be in [0, 1]");
+  return x;
+}
+
+/// Largest integer every JSON double represents exactly (2^53); beyond it
+/// the cast would be lossy (and above SIZE_MAX, undefined behavior).
+constexpr double kMaxExactInteger = 9007199254740992.0;
+
+std::size_t getCount(const JsonValue& v, const char* what) {
+  const double x = getNumber(v, what);
+  if (!(x >= 0.0) || x != std::floor(x)) {
+    fail(v, std::string(what) + ": must be a non-negative integer");
+  }
+  if (x > kMaxExactInteger) {
+    fail(v, std::string(what) + ": exceeds the exactly-representable "
+                                "integer range (2^53)");
+  }
+  return static_cast<std::size_t>(x);
+}
+
+int getPositiveInt(const JsonValue& v, const char* what) {
+  const double x = getNumber(v, what);
+  if (!(x > 0.0) || x != std::floor(x)) {
+    fail(v, std::string(what) + ": must be a positive integer");
+  }
+  if (x > 2147483647.0) {
+    fail(v, std::string(what) + ": out of int range");
+  }
+  return static_cast<int>(x);
+}
+
+bool getBool(const JsonValue& v, const char* what) {
+  if (!v.isBool()) fail(v, std::string(what) + ": expected true/false");
+  return v.asBool();
+}
+
+std::string getString(const JsonValue& v, const char* what) {
+  if (!v.isString()) fail(v, std::string(what) + ": expected a string");
+  return v.asString();
+}
+
+/// [lo, hi] range written as a 2-element array.
+std::pair<double, double> getRangePair(const JsonValue& v, const char* what) {
+  if (!v.isArray() || v.array().size() != 2) {
+    fail(v, std::string(what) + ": expected [lo, hi]");
+  }
+  const double lo = getNumber(v.array()[0], what);
+  const double hi = getNumber(v.array()[1], what);
+  if (hi < lo) fail(v, std::string(what) + ": hi must be >= lo");
+  return {lo, hi};
+}
+
+void parsePet(const JsonValue& json, ScenarioSpec& spec) {
+  Fields pet(json, "pet");
+  if (const auto* v = pet.get("seed")) {
+    spec.petSeed = static_cast<std::uint64_t>(getCount(*v, "pet.seed"));
+  }
+  if (const auto* v = pet.get("target_rho_at_15k")) {
+    spec.targetRhoAt15k = getPositive(*v, "pet.target_rho_at_15k");
+  }
+  if (const auto* v = pet.get("synthesis")) {
+    Fields syn(*v, "pet.synthesis");
+    auto& s = spec.synthesis;
+    if (const auto* f = syn.get("task_types")) {
+      s.numTaskTypes = getPositiveInt(*f, "pet.synthesis.task_types");
+    }
+    if (const auto* f = syn.get("machine_types")) {
+      s.numMachineTypes = getPositiveInt(*f, "pet.synthesis.machine_types");
+    }
+    if (const auto* f = syn.get("bin_width")) {
+      s.binWidth = getPositive(*f, "pet.synthesis.bin_width");
+    }
+    if (const auto* f = syn.get("base_mean")) {
+      std::tie(s.baseMeanLo, s.baseMeanHi) =
+          getRangePair(*f, "pet.synthesis.base_mean");
+    }
+    if (const auto* f = syn.get("speed")) {
+      std::tie(s.speedLo, s.speedHi) = getRangePair(*f, "pet.synthesis.speed");
+    }
+    if (const auto* f = syn.get("affinity")) {
+      std::tie(s.affinityLo, s.affinityHi) =
+          getRangePair(*f, "pet.synthesis.affinity");
+    }
+    if (const auto* f = syn.get("shape")) {
+      std::tie(s.shapeLo, s.shapeHi) = getRangePair(*f, "pet.synthesis.shape");
+    }
+    if (const auto* f = syn.get("samples_per_histogram")) {
+      s.samplesPerHistogram = getCount(*f, "pet.synthesis.samples_per_histogram");
+      if (s.samplesPerHistogram == 0) {
+        fail(*f, "pet.synthesis.samples_per_histogram: must be positive");
+      }
+    }
+    syn.done();
+  }
+  pet.done();
+}
+
+void parseCluster(const JsonValue& json, ScenarioSpec& spec) {
+  Fields cluster(json, "cluster");
+  if (const auto* v = cluster.get("kind")) {
+    const std::string kind = getString(*v, "cluster.kind");
+    if (kind == "heterogeneous") {
+      spec.clusterKind = ScenarioSpec::ClusterKind::Heterogeneous;
+    } else if (kind == "homogeneous") {
+      spec.clusterKind = ScenarioSpec::ClusterKind::Homogeneous;
+    } else if (kind == "custom") {
+      spec.clusterKind = ScenarioSpec::ClusterKind::Custom;
+    } else {
+      fail(*v, "cluster.kind: unknown kind \"" + kind +
+                   "\" (heterogeneous|homogeneous|custom)");
+    }
+  }
+  if (const auto* v = cluster.get("machine_types")) {
+    if (!v->isArray() || v->array().empty()) {
+      fail(*v, "cluster.machine_types: expected a non-empty array");
+    }
+    spec.customMachineTypes.clear();
+    for (const JsonValue& item : v->array()) {
+      const double x = getNumber(item, "cluster.machine_types");
+      if (x < 0.0 || x != std::floor(x) || x > 2147483647.0) {
+        fail(item, "cluster.machine_types: entries must be machine-type indices");
+      }
+      // "pet" parses before "cluster", so the PET column count is final
+      // here — reject out-of-range indices at load, with the line.
+      if (x >= static_cast<double>(spec.synthesis.numMachineTypes)) {
+        fail(item, "cluster.machine_types: machine type " +
+                       std::to_string(static_cast<int>(x)) +
+                       " out of range (PET has " +
+                       std::to_string(spec.synthesis.numMachineTypes) +
+                       " machine types)");
+      }
+      spec.customMachineTypes.push_back(static_cast<int>(x));
+    }
+  }
+  cluster.done();
+  if (spec.clusterKind == ScenarioSpec::ClusterKind::Custom &&
+      spec.customMachineTypes.empty()) {
+    fail(json, "cluster: kind \"custom\" requires machine_types");
+  }
+  if (spec.clusterKind != ScenarioSpec::ClusterKind::Custom &&
+      !spec.customMachineTypes.empty()) {
+    fail(json, "cluster: machine_types requires kind \"custom\"");
+  }
+}
+
+void parseWorkload(const JsonValue& json, ScenarioSpec& spec) {
+  Fields wl(json, "workload");
+  if (const auto* v = wl.get("rate")) {
+    spec.rate = getCount(*v, "workload.rate");
+    if (spec.rate == 0) fail(*v, "workload.rate: must be positive");
+  }
+  if (const auto* v = wl.get("pattern")) {
+    const std::string pattern = getString(*v, "workload.pattern");
+    if (pattern == "spiky") {
+      spec.pattern = workload::ArrivalPattern::Spiky;
+    } else if (pattern == "constant") {
+      spec.pattern = workload::ArrivalPattern::Constant;
+    } else if (pattern == "bursty") {
+      spec.pattern = workload::ArrivalPattern::Bursty;
+    } else {
+      fail(*v, "workload.pattern: unknown pattern \"" + pattern +
+                   "\" (spiky|constant|bursty)");
+    }
+  }
+  if (const auto* v = wl.get("spikes")) {
+    spec.numSpikes = getPositiveInt(*v, "workload.spikes");
+  }
+  if (const auto* v = wl.get("spike_factor")) {
+    spec.spikeFactor = getNumber(*v, "workload.spike_factor");
+    if (spec.spikeFactor < 1.0) {
+      fail(*v, "workload.spike_factor: must be >= 1");
+    }
+  }
+  if (const auto* v = wl.get("gap_variance_fraction")) {
+    spec.gapVarianceFraction = getPositive(*v, "workload.gap_variance_fraction");
+  }
+  if (const auto* v = wl.get("burst")) {
+    Fields burst(*v, "workload.burst");
+    if (const auto* f = burst.get("base_rate_factor")) {
+      spec.burstBaseFactor = getNumber(*f, "workload.burst.base_rate_factor");
+      if (spec.burstBaseFactor < 0.0) {
+        fail(*f, "workload.burst.base_rate_factor: must be >= 0");
+      }
+    }
+    if (const auto* f = burst.get("peak_rate_factor")) {
+      spec.burstPeakFactor = getNumber(*f, "workload.burst.peak_rate_factor");
+      if (spec.burstPeakFactor < 0.0) {
+        fail(*f, "workload.burst.peak_rate_factor: must be >= 0");
+      }
+    }
+    if (const auto* f = burst.get("width")) {
+      spec.burstWidth = getPositive(*f, "workload.burst.width");
+    }
+    if (const auto* f = burst.get("period")) {
+      spec.burstPeriod = getPositive(*f, "workload.burst.period");
+    }
+    if (const auto* f = burst.get("span")) {
+      spec.burstSpan = getPositive(*f, "workload.burst.span");
+    }
+    burst.done();
+    // Thinning-regime sanity: bursts narrower than their spacing (also
+    // keeps the sampler's majorant and per-candidate intensity O(1)).
+    if (spec.burstWidth > spec.burstPeriod) {
+      fail(*v, "workload.burst: width must not exceed period");
+    }
+    if (spec.burstSpan / spec.burstPeriod > 1e6) {
+      fail(*v, "workload.burst: span/period exceeds 1e6 burst centers");
+    }
+  }
+  if (const auto* v = wl.get("deadline")) {
+    Fields deadline(*v, "workload.deadline");
+    if (const auto* f = deadline.get("beta")) {
+      std::tie(spec.deadline.betaLo, spec.deadline.betaHi) =
+          getRangePair(*f, "workload.deadline.beta");
+    }
+    deadline.done();
+  }
+  wl.done();
+}
+
+void parseSim(const JsonValue& json, ScenarioSpec& spec) {
+  Fields sim(json, "sim");
+  if (const auto* v = sim.get("heuristic")) {
+    spec.heuristic = getString(*v, "sim.heuristic");
+    if (!heuristics::isImmediateHeuristic(spec.heuristic) &&
+        !heuristics::isBatchHeuristic(spec.heuristic)) {
+      fail(*v, "sim.heuristic: unknown heuristic \"" + spec.heuristic + "\"");
+    }
+  }
+  if (const auto* v = sim.get("kpb_percent")) {
+    spec.heuristicOptions.kpbPercent = getFraction(*v, "sim.kpb_percent");
+  }
+  if (const auto* v = sim.get("queue_capacity")) {
+    spec.machineQueueCapacity = getCount(*v, "sim.queue_capacity");
+    if (spec.machineQueueCapacity == 0) {
+      fail(*v, "sim.queue_capacity: must be positive");
+    }
+  }
+  if (const auto* v = sim.get("abort_at_deadline")) {
+    spec.abortRunningAtDeadline = getBool(*v, "sim.abort_at_deadline");
+  }
+  if (const auto* v = sim.get("pct_cache")) {
+    spec.pctCacheEnabled = getBool(*v, "sim.pct_cache");
+  }
+  if (const auto* v = sim.get("incremental_mapping")) {
+    spec.incrementalMappingEnabled = getBool(*v, "sim.incremental_mapping");
+  }
+  if (const auto* v = sim.get("pruning")) {
+    Fields pruning(*v, "sim.pruning");
+    auto& p = spec.pruning;
+    if (const auto* f = pruning.get("enabled")) {
+      p.enabled = getBool(*f, "sim.pruning.enabled");
+    }
+    if (const auto* f = pruning.get("reactive_drop")) {
+      p.reactiveDropEnabled = getBool(*f, "sim.pruning.reactive_drop");
+    }
+    if (const auto* f = pruning.get("threshold")) {
+      p.threshold = getFraction(*f, "sim.pruning.threshold");
+    }
+    if (const auto* f = pruning.get("toggle")) {
+      const std::string toggle = getString(*f, "sim.pruning.toggle");
+      if (toggle == "reactive") {
+        p.toggle = pruning::ToggleMode::Reactive;
+      } else if (toggle == "always") {
+        p.toggle = pruning::ToggleMode::AlwaysDropping;
+      } else if (toggle == "never") {
+        p.toggle = pruning::ToggleMode::NoDropping;
+      } else {
+        fail(*f, "sim.pruning.toggle: unknown mode \"" + toggle +
+                     "\" (reactive|always|never)");
+      }
+    }
+    if (const auto* f = pruning.get("dropping_toggle")) {
+      p.droppingToggle = getCount(*f, "sim.pruning.dropping_toggle");
+    }
+    if (const auto* f = pruning.get("defer")) {
+      p.deferEnabled = getBool(*f, "sim.pruning.defer");
+    }
+    if (const auto* f = pruning.get("fairness_factor")) {
+      p.fairnessFactor = getNumber(*f, "sim.pruning.fairness_factor");
+      if (p.fairnessFactor < 0.0) {
+        fail(*f, "sim.pruning.fairness_factor: must be >= 0");
+      }
+    }
+    if (const auto* f = pruning.get("fairness_clamp")) {
+      p.fairnessClamp = getFraction(*f, "sim.pruning.fairness_clamp");
+    }
+    if (const auto* f = pruning.get("priority_aware")) {
+      p.priorityAware = getBool(*f, "sim.pruning.priority_aware");
+    }
+    if (const auto* f = pruning.get("priority_weight")) {
+      p.priorityWeight = getNumber(*f, "sim.pruning.priority_weight");
+    }
+    if (const auto* f = pruning.get("priority_reference")) {
+      p.priorityReference = getPositive(*f, "sim.pruning.priority_reference");
+    }
+    pruning.done();
+  }
+  sim.done();
+}
+
+void parseRun(const JsonValue& json, ScenarioSpec& spec) {
+  Fields run(json, "run");
+  if (const auto* v = run.get("trials")) {
+    spec.trials = getCount(*v, "run.trials");
+    if (spec.trials == 0) fail(*v, "run.trials: must be positive");
+  }
+  if (const auto* v = run.get("jobs")) {
+    spec.jobs = getCount(*v, "run.jobs");
+  }
+  if (const auto* v = run.get("seed")) {
+    spec.seed = static_cast<std::uint64_t>(getCount(*v, "run.seed"));
+  }
+  if (const auto* v = run.get("scale")) {
+    spec.scale = getPositive(*v, "run.scale");
+  }
+  if (const auto* v = run.get("warmup")) {
+    const double x = getNumber(*v, "run.warmup");
+    if (x != std::floor(x) || x < -1.0) {
+      fail(*v, "run.warmup: must be an integer >= -1 (-1 = auto)");
+    }
+    if (x > kMaxExactInteger) {
+      fail(*v, "run.warmup: exceeds the exactly-representable integer "
+               "range (2^53)");
+    }
+    spec.warmup = static_cast<long>(x);
+  }
+  run.done();
+}
+
+}  // namespace
+
+ScenarioSpec parseScenarioSpec(const JsonValue& json) {
+  ScenarioSpec spec;
+  Fields top(json, "scenario");
+  if (const auto* v = top.get("name")) spec.name = getString(*v, "name");
+  if (const auto* v = top.get("description")) {
+    spec.description = getString(*v, "description");
+  }
+  if (const auto* v = top.get("pet")) parsePet(*v, spec);
+  if (const auto* v = top.get("cluster")) parseCluster(*v, spec);
+  if (const auto* v = top.get("workload")) parseWorkload(*v, spec);
+  if (const auto* v = top.get("sim")) parseSim(*v, spec);
+  if (const auto* v = top.get("run")) parseRun(*v, spec);
+  if (const auto* v = top.get("sweep")) {
+    fail(*v, "\"sweep\" is a scenario-document key; parseScenarioDoc "
+             "handles it (a bare scenario object cannot sweep)");
+  }
+  top.done();
+  return spec;
+}
+
+util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
+  using util::JsonValue;
+  JsonValue root = JsonValue::makeObject();
+  root.set("name", spec.name);
+  root.set("description", spec.description);
+
+  JsonValue pet = JsonValue::makeObject();
+  pet.set("seed", static_cast<double>(spec.petSeed));
+  pet.set("target_rho_at_15k", spec.targetRhoAt15k);
+  JsonValue synthesis = JsonValue::makeObject();
+  const auto& s = spec.synthesis;
+  synthesis.set("task_types", s.numTaskTypes);
+  synthesis.set("machine_types", s.numMachineTypes);
+  synthesis.set("bin_width", s.binWidth);
+  auto pair = [](double lo, double hi) {
+    JsonValue v = JsonValue::makeArray();
+    v.append(lo);
+    v.append(hi);
+    return v;
+  };
+  synthesis.set("base_mean", pair(s.baseMeanLo, s.baseMeanHi));
+  synthesis.set("speed", pair(s.speedLo, s.speedHi));
+  synthesis.set("affinity", pair(s.affinityLo, s.affinityHi));
+  synthesis.set("shape", pair(s.shapeLo, s.shapeHi));
+  synthesis.set("samples_per_histogram", s.samplesPerHistogram);
+  pet.set("synthesis", std::move(synthesis));
+  root.set("pet", std::move(pet));
+
+  JsonValue cluster = JsonValue::makeObject();
+  switch (spec.clusterKind) {
+    case ScenarioSpec::ClusterKind::Heterogeneous:
+      cluster.set("kind", "heterogeneous");
+      break;
+    case ScenarioSpec::ClusterKind::Homogeneous:
+      cluster.set("kind", "homogeneous");
+      break;
+    case ScenarioSpec::ClusterKind::Custom: {
+      cluster.set("kind", "custom");
+      JsonValue types = JsonValue::makeArray();
+      for (int t : spec.customMachineTypes) types.append(t);
+      cluster.set("machine_types", std::move(types));
+      break;
+    }
+  }
+  root.set("cluster", std::move(cluster));
+
+  JsonValue wl = JsonValue::makeObject();
+  wl.set("rate", spec.rate);
+  switch (spec.pattern) {
+    case workload::ArrivalPattern::Spiky: wl.set("pattern", "spiky"); break;
+    case workload::ArrivalPattern::Constant:
+      wl.set("pattern", "constant");
+      break;
+    case workload::ArrivalPattern::Bursty: wl.set("pattern", "bursty"); break;
+  }
+  wl.set("spikes", spec.numSpikes);
+  wl.set("spike_factor", spec.spikeFactor);
+  wl.set("gap_variance_fraction", spec.gapVarianceFraction);
+  // Emitted for every pattern (like the spiky knobs above): the canonical
+  // form must carry all fields or parse -> serialize -> parse would drop
+  // burst parameters written under a non-bursty pattern.
+  JsonValue burst = JsonValue::makeObject();
+  burst.set("base_rate_factor", spec.burstBaseFactor);
+  burst.set("peak_rate_factor", spec.burstPeakFactor);
+  burst.set("width", spec.burstWidth);
+  burst.set("period", spec.burstPeriod);
+  burst.set("span", spec.burstSpan);
+  wl.set("burst", std::move(burst));
+  JsonValue deadline = JsonValue::makeObject();
+  deadline.set("beta", pair(spec.deadline.betaLo, spec.deadline.betaHi));
+  wl.set("deadline", std::move(deadline));
+  root.set("workload", std::move(wl));
+
+  JsonValue sim = JsonValue::makeObject();
+  sim.set("heuristic", spec.heuristic);
+  sim.set("kpb_percent", spec.heuristicOptions.kpbPercent);
+  sim.set("queue_capacity", spec.machineQueueCapacity);
+  sim.set("abort_at_deadline", spec.abortRunningAtDeadline);
+  sim.set("pct_cache", spec.pctCacheEnabled);
+  sim.set("incremental_mapping", spec.incrementalMappingEnabled);
+  JsonValue pruning = JsonValue::makeObject();
+  const auto& p = spec.pruning;
+  pruning.set("enabled", p.enabled);
+  pruning.set("reactive_drop", p.reactiveDropEnabled);
+  pruning.set("threshold", p.threshold);
+  switch (p.toggle) {
+    case pruning::ToggleMode::Reactive: pruning.set("toggle", "reactive"); break;
+    case pruning::ToggleMode::AlwaysDropping:
+      pruning.set("toggle", "always");
+      break;
+    case pruning::ToggleMode::NoDropping:
+      pruning.set("toggle", "never");
+      break;
+  }
+  pruning.set("dropping_toggle", p.droppingToggle);
+  pruning.set("defer", p.deferEnabled);
+  pruning.set("fairness_factor", p.fairnessFactor);
+  pruning.set("fairness_clamp", p.fairnessClamp);
+  pruning.set("priority_aware", p.priorityAware);
+  pruning.set("priority_weight", p.priorityWeight);
+  pruning.set("priority_reference", p.priorityReference);
+  sim.set("pruning", std::move(pruning));
+  root.set("sim", std::move(sim));
+
+  JsonValue run = JsonValue::makeObject();
+  run.set("trials", spec.trials);
+  run.set("jobs", spec.jobs);
+  run.set("seed", static_cast<double>(spec.seed));
+  run.set("scale", spec.scale);
+  run.set("warmup", static_cast<double>(spec.warmup));
+  root.set("run", std::move(run));
+  return root;
+}
+
+std::string scenarioModelKey(const ScenarioSpec& spec) {
+  // Serialize exactly the fields PaperScenario's constructor consumes (plus
+  // the cluster shape, which custom models bind from the same PET).
+  std::ostringstream key;
+  const auto& s = spec.synthesis;
+  key << spec.petSeed << '|' << util::formatJsonNumber(spec.scale) << '|'
+      << util::formatJsonNumber(spec.targetRhoAt15k) << '|' << s.numTaskTypes
+      << '|' << s.numMachineTypes << '|' << util::formatJsonNumber(s.binWidth)
+      << '|' << util::formatJsonNumber(s.baseMeanLo) << '|'
+      << util::formatJsonNumber(s.baseMeanHi) << '|'
+      << util::formatJsonNumber(s.speedLo) << '|'
+      << util::formatJsonNumber(s.speedHi) << '|'
+      << util::formatJsonNumber(s.affinityLo) << '|'
+      << util::formatJsonNumber(s.affinityHi) << '|'
+      << util::formatJsonNumber(s.shapeLo) << '|'
+      << util::formatJsonNumber(s.shapeHi) << '|' << s.samplesPerHistogram;
+  return key.str();
+}
+
+BoundScenario bindScenario(const ScenarioSpec& spec,
+                           std::shared_ptr<const PaperScenario> paper) {
+  BoundScenario bound;
+  if (paper == nullptr) {
+    PaperScenario::Options options;
+    options.petSeed = spec.petSeed;
+    options.scale = spec.scale;
+    options.trials = spec.trials;
+    options.jobs = spec.jobs;
+    options.targetRhoAt15k = spec.targetRhoAt15k;
+    options.synthesis = spec.synthesis;
+    paper = std::make_shared<const PaperScenario>(options);
+  }
+  bound.paper = paper;
+
+  switch (spec.clusterKind) {
+    case ScenarioSpec::ClusterKind::Heterogeneous:
+      bound.model = &paper->hetero();
+      break;
+    case ScenarioSpec::ClusterKind::Homogeneous:
+      bound.model = &paper->homo();
+      break;
+    case ScenarioSpec::ClusterKind::Custom: {
+      for (int t : spec.customMachineTypes) {
+        if (t >= spec.synthesis.numMachineTypes) {
+          throw ScenarioError(
+              "cluster.machine_types: machine type " + std::to_string(t) +
+              " out of range (PET has " +
+              std::to_string(spec.synthesis.numMachineTypes) +
+              " machine types)");
+        }
+      }
+      bound.customModel = std::make_unique<workload::BoundExecutionModel>(
+          paper->pet(), spec.customMachineTypes);
+      bound.model = bound.customModel.get();
+      break;
+    }
+  }
+
+  ExperimentSpec& e = bound.experiment;
+  if (spec.pattern == workload::ArrivalPattern::Bursty) {
+    // Absolute-time IPPP intensity calibrated to the bound cluster's
+    // capacity, exactly as examples/burst_stress.cpp derives it.
+    double meanExec = 0.0;
+    for (int k = 0; k < bound.model->numTaskTypes(); ++k) {
+      for (int j = 0; j < bound.model->numMachines(); ++j) {
+        meanExec += bound.model->expectedExec(k, j);
+      }
+    }
+    meanExec /= static_cast<double>(bound.model->numTaskTypes() *
+                                    bound.model->numMachines());
+    const double capacity =
+        static_cast<double>(bound.model->numMachines()) / meanExec;
+    e.arrival.pattern = workload::ArrivalPattern::Bursty;
+    e.arrival.span = spec.burstSpan;
+    e.arrival.totalTasks = 0;
+    e.arrival.numTaskTypes = spec.synthesis.numTaskTypes;
+    e.arrival.burstBaseRate = spec.burstBaseFactor * capacity;
+    e.arrival.burstPeakRate = spec.burstPeakFactor * capacity;
+    e.arrival.burstWidth = spec.burstWidth;
+    e.arrival.burstPeriod = spec.burstPeriod;
+    e.sim.warmupMargin =
+        spec.warmup < 0 ? 0 : static_cast<std::size_t>(spec.warmup);
+  } else {
+    e = paper->experimentSpec(spec.rate, spec.pattern);
+    e.arrival.numSpikes = spec.numSpikes;
+    e.arrival.spikeFactor = spec.spikeFactor;
+    e.arrival.gapVarianceFraction = spec.gapVarianceFraction;
+    e.sim.warmupMargin = spec.warmup < 0
+                             ? paper->warmupMargin(spec.rate)
+                             : static_cast<std::size_t>(spec.warmup);
+  }
+  e.deadline = spec.deadline;
+  e.trials = spec.trials;
+  e.jobs = spec.jobs;
+  e.baseSeed = spec.seed;
+
+  core::SimulationConfig& sim = e.sim;
+  sim.heuristic = spec.heuristic;
+  sim.heuristicOptions = spec.heuristicOptions;
+  sim.pruning = spec.pruning;
+  sim.machineQueueCapacity = spec.machineQueueCapacity;
+  sim.abortRunningAtDeadline = spec.abortRunningAtDeadline;
+  sim.pctCacheEnabled = spec.pctCacheEnabled;
+  sim.incrementalMappingEnabled = spec.incrementalMappingEnabled;
+  return bound;
+}
+
+}  // namespace hcs::exp

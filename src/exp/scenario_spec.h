@@ -1,0 +1,135 @@
+#pragma once
+// Declarative scenario files: a JSON format that fully describes one
+// experiment — PET synthesis/seed, cluster shape, arrival process
+// (including the bursty IPPP pattern), deadline spec, heuristic/pruning/
+// simulation config, and trials/jobs/scale — so the §V evaluation grid is
+// data, not compiled-in C++.  scenario_spec covers a single experiment;
+// sweep.h adds the parameter-sweep axes that expand one file into a grid.
+//
+// Design rules:
+//  - Every field has the same default as the hand-written bench path, and
+//    binding goes through the same PaperScenario + ExperimentSpec
+//    machinery, so a scenario file reproduces its figure bench
+//    byte-identically at the same scale/seed.
+//  - Parsing is strict: unknown keys and ill-typed/out-of-range values are
+//    rejected with line-numbered errors (util/json keeps source lines).
+//  - parse -> serialize -> parse is the identity (canonical full form).
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "exp/experiment.h"
+#include "exp/scenario.h"
+#include "util/json.h"
+#include "workload/arrival.h"
+#include "workload/deadline.h"
+#include "workload/pet_matrix.h"
+
+namespace hcs::exp {
+
+/// Schema violations (unknown key, bad type, out-of-range value); the
+/// message carries "line N:" context from the scenario file.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// One fully-described experiment.  Field defaults mirror the bench
+/// defaults exactly (PaperScenario::Options, ExperimentSpec,
+/// SimulationConfig), so an empty scenario object `{}` is the canonical
+/// paper setup: MM, heterogeneous cluster, 15k spiky, full pruning.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+
+  // --- pet ---
+  std::uint64_t petSeed = 2019;
+  double targetRhoAt15k = 1.25;
+  workload::PetSynthesisConfig synthesis;
+
+  // --- cluster ---
+  enum class ClusterKind { Heterogeneous, Homogeneous, Custom };
+  ClusterKind clusterKind = ClusterKind::Heterogeneous;
+  /// Custom clusters: machine i is of PET machine type customMachineTypes[i]
+  /// (any mix, any count — e.g. 6 fast + 2 slow).
+  std::vector<int> customMachineTypes;
+
+  // --- workload ---
+  /// Paper-equivalent task count (15000/20000/25000 in §V); scaled by
+  /// run.scale.  Ignored by the bursty pattern.
+  std::size_t rate = 15000;
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::Spiky;
+  int numSpikes = 6;
+  double spikeFactor = 3.0;
+  double gapVarianceFraction = 0.1;
+  /// Bursty IPPP intensity, relative to the bound cluster's capacity
+  /// (tasks/time-unit it can serve): lambda(t) = base + peak * Gaussian
+  /// burst train.  Spans/periods/widths are absolute time units and are
+  /// NOT scaled by run.scale.
+  double burstBaseFactor = 0.9;
+  double burstPeakFactor = 7.0;
+  double burstWidth = 4.0;
+  double burstPeriod = 80.0;
+  double burstSpan = 400.0;
+  workload::DeadlineSpec deadline;
+
+  // --- sim ---
+  std::string heuristic = "MM";
+  heuristics::HeuristicOptions heuristicOptions;
+  pruning::PruningConfig pruning;
+  std::size_t machineQueueCapacity = 4;
+  bool abortRunningAtDeadline = false;
+  bool pctCacheEnabled = true;
+  bool incrementalMappingEnabled = true;
+
+  // --- run ---
+  std::size_t trials = 8;
+  std::size_t jobs = 1;
+  std::uint64_t seed = 2019;
+  double scale = 0.1;
+  /// Warm-up trim margin; -1 = auto (the paper's 100-of-15000 ratio for
+  /// rate-based patterns, 0 for bursty).
+  long warmup = -1;
+};
+
+/// Parses a scenario object.  Throws ScenarioError on unknown keys,
+/// ill-typed values, or out-of-range values, naming the source line.
+/// (The "sweep" key belongs to the document level — see sweep.h — and is
+/// rejected here.)
+ScenarioSpec parseScenarioSpec(const util::JsonValue& json);
+
+/// Canonical full-form serialization; parseScenarioSpec(toJson(s))
+/// reproduces `s` exactly.
+util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec);
+
+/// A scenario bound to concrete models, ready to run.
+struct BoundScenario {
+  /// Owns the PET matrix and the hetero/homo clusters (shared so sweep
+  /// grids reuse one synthesis across grid points).
+  std::shared_ptr<const PaperScenario> paper;
+  /// Set only for ClusterKind::Custom.
+  std::unique_ptr<workload::BoundExecutionModel> customModel;
+  /// The cluster this scenario runs against (points into paper or
+  /// customModel).
+  const workload::BoundExecutionModel* model = nullptr;
+  /// Fully-populated spec for runExperiment().
+  ExperimentSpec experiment;
+};
+
+/// Key over the fields that determine PaperScenario construction (PET
+/// seed/synthesis, scale, target rho); equal keys may share one
+/// PaperScenario across bindScenario calls.
+std::string scenarioModelKey(const ScenarioSpec& spec);
+
+/// Binds `spec` to models and an ExperimentSpec.  Pass a `paper` previously
+/// obtained from a spec with the same scenarioModelKey() to skip the PET
+/// re-synthesis; pass nullptr to build fresh.
+BoundScenario bindScenario(const ScenarioSpec& spec,
+                           std::shared_ptr<const PaperScenario> paper = {});
+
+}  // namespace hcs::exp

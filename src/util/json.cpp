@@ -1,0 +1,505 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hcs::util {
+
+namespace {
+
+const char* typeName(JsonValue::Type type) {
+  switch (type) {
+    case JsonValue::Type::Null: return "null";
+    case JsonValue::Type::Bool: return "bool";
+    case JsonValue::Type::Number: return "number";
+    case JsonValue::Type::String: return "string";
+    case JsonValue::Type::Array: return "array";
+    case JsonValue::Type::Object: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void typeError(const JsonValue& value, JsonValue::Type wanted) {
+  std::ostringstream out;
+  if (value.line() > 0) out << "line " << value.line() << ": ";
+  out << "expected " << typeName(wanted) << ", got "
+      << typeName(value.type());
+  throw JsonError(out.str());
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (type_ != Type::Bool) typeError(*this, Type::Bool);
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (type_ != Type::Number) typeError(*this, Type::Number);
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (type_ != Type::String) typeError(*this, Type::String);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  if (type_ != Type::Array) typeError(*this, Type::Array);
+  return array_;
+}
+
+JsonValue::Array& JsonValue::array() {
+  if (type_ != Type::Array) typeError(*this, Type::Array);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  if (type_ != Type::Object) typeError(*this, Type::Object);
+  return object_;
+}
+
+JsonValue::Object& JsonValue::object() {
+  if (type_ != Type::Object) typeError(*this, Type::Object);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::find(const std::string& key) {
+  if (type_ != Type::Object) return nullptr;
+  for (Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (type_ != Type::Object) typeError(*this, Type::Object);
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return m.second;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return object_.back().second;
+}
+
+JsonValue& JsonValue::append(JsonValue value) {
+  if (type_ != Type::Array) typeError(*this, Type::Array);
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return number_ == other.number_;
+    case Type::String: return string_ == other.string_;
+    case Type::Array: return array_ == other.array_;
+    case Type::Object: return object_ == other.object_;
+  }
+  return false;
+}
+
+// --- Parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  JsonValue parseDocument() {
+    JsonValue value = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream out;
+    if (!origin_.empty()) out << origin_ << ":";
+    out << "line " << line_ << ": " << message;
+    throw JsonError(out.str());
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void expect(char wanted) {
+    const char c = take();
+    if (c != wanted) {
+      fail(std::string("expected '") + wanted + "', got '" + c + "'");
+    }
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '\n') {
+        ++pos_;
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consumeKeyword(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parseValue() {
+    skipWhitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    if (++depth_ > kMaxDepth) {
+      fail("nesting deeper than 200 levels");
+    }
+    const int line = line_;
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') {
+      value = parseObject();
+    } else if (c == '[') {
+      value = parseArray();
+    } else if (c == '"') {
+      value = JsonValue(parseString());
+    } else if (c == 't' && consumeKeyword("true")) {
+      value = JsonValue(true);
+    } else if (c == 'f' && consumeKeyword("false")) {
+      value = JsonValue(false);
+    } else if (c == 'n' && consumeKeyword("null")) {
+      value = JsonValue();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      value = JsonValue(parseNumber());
+    } else {
+      fail(std::string("unexpected character '") + c + "'");
+    }
+    --depth_;
+    value.setLine(line);
+    return value;
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue object = JsonValue::makeObject();
+    skipWhitespace();
+    if (peek() == '}') {
+      take();
+      return object;
+    }
+    while (true) {
+      skipWhitespace();
+      if (peek() != '"') fail("expected object key string");
+      const int keyLine = line_;
+      std::string key = parseString();
+      if (object.find(key) != nullptr) {
+        std::ostringstream out;
+        out << "duplicate key \"" << key << "\"";
+        fail(out.str());
+      }
+      skipWhitespace();
+      expect(':');
+      JsonValue value = parseValue();
+      if (value.line() == 0) value.setLine(keyLine);
+      object.object().emplace_back(std::move(key), std::move(value));
+      skipWhitespace();
+      const char c = take();
+      if (c == '}') return object;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue array = JsonValue::makeArray();
+    skipWhitespace();
+    if (peek() == ']') {
+      take();
+      return array;
+    }
+    while (true) {
+      array.append(parseValue());
+      skipWhitespace();
+      const char c = take();
+      if (c == ']') return array;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = take();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed by scenario files; reject them explicitly).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              fail("surrogate \\u escapes are not supported");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  double parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("malformed number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    if (peek() == '.') {
+      take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("malformed number: digit required after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      take();
+      if (peek() == '+' || peek() == '-') take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("malformed number: digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    if (errno == ERANGE && !std::isfinite(value)) {
+      fail("number out of double range");
+    }
+    return value;
+  }
+
+  /// Recursion bound: a hostile/corrupted document must produce the
+  /// line-numbered error contract, not a stack overflow.
+  static constexpr int kMaxDepth = 200;
+
+  const std::string& text_;
+  std::string origin_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(const std::string& text, const std::string& origin) {
+  return Parser(text, origin).parseDocument();
+}
+
+JsonValue parseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw JsonError(path + ": cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseJson(buffer.str(), path);
+}
+
+// --- Writer -----------------------------------------------------------------
+
+std::string formatJsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    throw JsonError("JSON cannot represent non-finite numbers");
+  }
+  if (value == 0.0) return "0";  // collapse -0.0: compares equal anyway
+  // Integers within exact-double range print without a fraction.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  // Shortest precision that round-trips to the identical double.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  return buf;  // %.17g always round-trips
+}
+
+namespace {
+
+void writeString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void writeValue(std::string& out, const JsonValue& value, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string childIndent(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (value.type()) {
+    case JsonValue::Type::Null:
+      out += "null";
+      break;
+    case JsonValue::Type::Bool:
+      out += value.asBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::Number:
+      out += formatJsonNumber(value.asNumber());
+      break;
+    case JsonValue::Type::String:
+      writeString(out, value.asString());
+      break;
+    case JsonValue::Type::Array: {
+      const auto& items = value.array();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      // Scalar-only arrays stay on one line (ranges, label lists).
+      bool scalarOnly = true;
+      for (const JsonValue& item : items) {
+        if (item.isArray() || item.isObject()) {
+          scalarOnly = false;
+          break;
+        }
+      }
+      if (scalarOnly) {
+        out.push_back('[');
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (i > 0) out += ", ";
+          writeValue(out, items[i], depth);
+        }
+        out.push_back(']');
+      } else {
+        out += "[\n";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          out += childIndent;
+          writeValue(out, items[i], depth + 1);
+          if (i + 1 < items.size()) out.push_back(',');
+          out.push_back('\n');
+        }
+        out += indent;
+        out.push_back(']');
+      }
+      break;
+    }
+    case JsonValue::Type::Object: {
+      const auto& members = value.object();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        out += childIndent;
+        writeString(out, members[i].first);
+        out += ": ";
+        writeValue(out, members[i].second, depth + 1);
+        if (i + 1 < members.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      out += indent;
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string writeJson(const JsonValue& value) {
+  std::string out;
+  writeValue(out, value, 0);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace hcs::util

@@ -1,0 +1,118 @@
+#pragma once
+// Minimal, dependency-free JSON for the scenario subsystem.
+//
+// Deliberately small: the value tree keeps object members in insertion
+// order (so serialized scenarios stay diffable), every parsed value
+// remembers its source line (so schema errors point at the offending line
+// of the scenario file), and the writer emits a canonical form whose
+// numbers round-trip bit-exactly (parse(write(v)) == v).  No external
+// dependency — this is the whole reader/writer.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcs::util {
+
+/// Thrown by the parser and by typed accessors; the message already carries
+/// "file:line:" context where available.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(double n) : type_(Type::Number), number_(n) {}
+  JsonValue(int n) : JsonValue(static_cast<double>(n)) {}
+  JsonValue(std::size_t n) : JsonValue(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::String), string_(s) {}
+  JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  static JsonValue makeArray() {
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static JsonValue makeObject() {
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::Null; }
+  bool isBool() const { return type_ == Type::Bool; }
+  bool isNumber() const { return type_ == Type::Number; }
+  bool isString() const { return type_ == Type::String; }
+  bool isArray() const { return type_ == Type::Array; }
+  bool isObject() const { return type_ == Type::Object; }
+
+  /// 1-based source line of this value's first token (0 = synthesized).
+  int line() const { return line_; }
+  void setLine(int line) { line_ = line; }
+
+  /// Typed accessors; throw JsonError mentioning the source line on
+  /// mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const Array& array() const;
+  Array& array();
+  const Object& object() const;
+  Object& object();
+
+  /// Object lookup; nullptr when absent (or when not an object).
+  const JsonValue* find(const std::string& key) const;
+  JsonValue* find(const std::string& key);
+
+  /// Object: appends or overwrites `key` (insertion order preserved;
+  /// overwrite keeps the original position).  Throws on non-objects.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Array append.  Throws on non-arrays.
+  JsonValue& append(JsonValue value);
+
+  /// Deep structural equality; numbers compare as exact doubles.  Source
+  /// lines are ignored.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+  int line_ = 0;
+};
+
+/// Parses a complete JSON document.  `origin` (typically a file name)
+/// prefixes error messages: "scenario.json:12: expected ':'".  Trailing
+/// non-whitespace is an error.  Comments are not JSON and are rejected.
+JsonValue parseJson(const std::string& text, const std::string& origin = "");
+
+/// Reads and parses `path`; parse errors carry the path as origin.
+JsonValue parseJsonFile(const std::string& path);
+
+/// Canonical serialization: 2-space indent, members in stored order,
+/// numbers formatted with the shortest decimal form that parses back to
+/// the identical double.  Ends with a newline at top level.
+std::string writeJson(const JsonValue& value);
+
+/// The number formatting used by writeJson, exposed for reports that want
+/// identical numeric text.
+std::string formatJsonNumber(double value);
+
+}  // namespace hcs::util

@@ -25,6 +25,14 @@ namespace hcs::workload {
 enum class ArrivalPattern {
   Constant,
   Spiky,
+  /// Inhomogeneous Poisson point process (IPPP) with a Gaussian burst-train
+  /// intensity, realized by Lewis-Shedler thinning — the construction of
+  /// examples/burst_stress.cpp promoted to a first-class pattern:
+  ///   lambda(t) = base + peak * sum_k exp(-((t - c_k) / width)^2 / 2)
+  /// with burst centers c_k at period/2, 3*period/2, ...  Rates are
+  /// absolute (tasks per time unit across ALL types); task types are drawn
+  /// uniformly per arrival, so `totalTasks` is ignored.
+  Bursty,
 };
 
 /// A piecewise-constant arrival-rate function on [0, span).
@@ -83,6 +91,12 @@ struct ArrivalSpec {
   /// Gamma gap discipline: variance of the unit-mean gap distribution
   /// (paper: variance is 10% of the mean).
   double gapVarianceFraction = 0.1;
+
+  /// Bursty (IPPP) pattern only — see ArrivalPattern::Bursty.
+  double burstBaseRate = 0.0;  ///< lull arrivals per time unit (all types)
+  double burstPeakRate = 0.0;  ///< extra rate at a burst center
+  double burstWidth = 1.0;     ///< burst standard deviation (time units)
+  double burstPeriod = 0.0;    ///< burst spacing (time units)
 };
 
 /// Generates the merged, time-sorted arrival list for all task types.

@@ -1,0 +1,158 @@
+// util/json: parsing, line-numbered errors, canonical writing, round-trip.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace {
+
+using hcs::util::JsonError;
+using hcs::util::JsonValue;
+using hcs::util::formatJsonNumber;
+using hcs::util::parseJson;
+using hcs::util::writeJson;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_EQ(parseJson("true").asBool(), true);
+  EXPECT_EQ(parseJson("false").asBool(), false);
+  EXPECT_DOUBLE_EQ(parseJson("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseJson("-0.5e2").asNumber(), -50.0);
+  EXPECT_EQ(parseJson("\"hi\\n\\u0041\"").asString(), "hi\nA");
+}
+
+TEST(Json, ParsesNested) {
+  const JsonValue v = parseJson(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+  ASSERT_TRUE(v.isObject());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[2].find("b")->asString(), "x");
+  EXPECT_TRUE(v.find("c")->find("d")->isNull());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  const JsonValue v = parseJson(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = v.object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, TracksLineNumbers) {
+  const JsonValue v = parseJson("{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+  EXPECT_EQ(v.line(), 1);
+  EXPECT_EQ(v.find("a")->line(), 2);
+  EXPECT_EQ(v.find("b")->line(), 3);
+  EXPECT_EQ(v.find("b")->array()[0].line(), 4);
+}
+
+TEST(Json, ErrorsCarryLineNumbers) {
+  try {
+    parseJson("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parseJson("{\"a\": 1", "spec.json");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.json:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parseJson(""), JsonError);
+  EXPECT_THROW(parseJson("{} trailing"), JsonError);
+  EXPECT_THROW(parseJson("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(parseJson("[1, 2,]"), JsonError);
+  EXPECT_THROW(parseJson("\"unterminated"), JsonError);
+  EXPECT_THROW(parseJson("1."), JsonError);
+  EXPECT_THROW(parseJson("nul"), JsonError);
+  EXPECT_THROW(parseJson(R"({"a": 1, "a": 2})"), JsonError);  // duplicate key
+}
+
+TEST(Json, DeepNestingIsAnErrorNotAStackOverflow) {
+  const std::string deep(100000, '[');
+  try {
+    parseJson(deep);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+}
+
+TEST(Json, TypeMismatchMentionsLine) {
+  const JsonValue v = parseJson("{\n  \"a\": 1\n}");
+  try {
+    (void)v.find("a")->asString();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("expected string"),
+              std::string::npos);
+  }
+}
+
+TEST(Json, NumberFormatRoundTrips) {
+  const double cases[] = {0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          6.02214076e23,
+                          -2.2250738585072014e-308,
+                          90.89398062077541,
+                          1e15,
+                          9007199254740991.0,
+                          std::nextafter(1.0, 2.0)};
+  for (const double x : cases) {
+    const std::string text = formatJsonNumber(x);
+    EXPECT_EQ(parseJson(text).asNumber(), x) << text;
+  }
+  // Integral doubles print without fraction or exponent.
+  EXPECT_EQ(formatJsonNumber(42.0), "42");
+  EXPECT_EQ(formatJsonNumber(-7.0), "-7");
+  EXPECT_THROW(formatJsonNumber(std::numeric_limits<double>::infinity()),
+               JsonError);
+}
+
+TEST(Json, WriteParseIsIdentity) {
+  const char* doc = R"({
+    "name": "x",
+    "values": [1, 0.25, -3e-7, true, null, "s\"t"],
+    "nested": {"a": {}, "b": [], "c": [[1], {"d": 2}]}
+  })";
+  const JsonValue v = parseJson(doc);
+  const JsonValue reparsed = parseJson(writeJson(v));
+  EXPECT_TRUE(v == reparsed);
+  // And the canonical form is a fixed point.
+  EXPECT_EQ(writeJson(v), writeJson(reparsed));
+}
+
+TEST(Json, SetAndAppend) {
+  JsonValue obj = JsonValue::makeObject();
+  obj.set("a", 1);
+  obj.set("b", "x");
+  obj.set("a", 2);  // overwrite keeps position
+  ASSERT_EQ(obj.object().size(), 2u);
+  EXPECT_EQ(obj.object()[0].first, "a");
+  EXPECT_DOUBLE_EQ(obj.find("a")->asNumber(), 2.0);
+  JsonValue arr = JsonValue::makeArray();
+  arr.append(1);
+  arr.append(false);
+  EXPECT_EQ(arr.array().size(), 2u);
+  EXPECT_THROW(arr.set("k", 1), JsonError);
+  EXPECT_THROW(obj.append(1), JsonError);
+}
+
+}  // namespace

@@ -182,7 +182,10 @@ TEST(EventQueueRegressionTest, AbortHeavyTrialLeavesNoPendingCancellations) {
   // Every task's deadline passes mid-execution, so with abort-at-deadline
   // each started task schedules a completion that is later cancelled.  The
   // indexed heap must free each cancellation eagerly: none may linger.
-  const FakeModel model = FakeModel::deterministic({{10.0}});
+  // One column per machine: ManualWorld instantiates `numMachines` machines
+  // and the scheduler queries the PET for every one of them (a 1-column
+  // model with 2 machines is an out-of-bounds read, caught by ASan).
+  const FakeModel model = FakeModel::deterministic({{10.0, 10.0}});
   core::SimulationConfig config;
   config.heuristic = "MM";
   config.abortRunningAtDeadline = true;

@@ -1,0 +1,399 @@
+// Scenario subsystem: schema parsing (round-trip, strict rejection with
+// line numbers), sweep grid expansion (counts, ordering, seed pairing),
+// and bench-equivalence of the bound ExperimentSpec.
+
+#include "exp/scenario_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace hcs;
+using exp::ScenarioDoc;
+using exp::ScenarioError;
+using exp::ScenarioSpec;
+using util::JsonValue;
+
+ScenarioSpec parseSpec(const std::string& text) {
+  return exp::parseScenarioSpec(util::parseJson(text));
+}
+
+void expectErrorContains(const std::string& text, const std::string& needle) {
+  try {
+    (void)parseSpec(text);
+    FAIL() << "expected ScenarioError for: " << text;
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error was: " << e.what();
+  }
+}
+
+TEST(ScenarioSpec, EmptyObjectIsPaperDefaults) {
+  const ScenarioSpec spec = parseSpec("{}");
+  EXPECT_EQ(spec.heuristic, "MM");
+  EXPECT_EQ(spec.rate, 15000u);
+  EXPECT_EQ(spec.pattern, workload::ArrivalPattern::Spiky);
+  EXPECT_EQ(spec.clusterKind, ScenarioSpec::ClusterKind::Heterogeneous);
+  EXPECT_EQ(spec.trials, 8u);
+  EXPECT_EQ(spec.seed, 2019u);
+  EXPECT_DOUBLE_EQ(spec.scale, 0.1);
+  EXPECT_TRUE(spec.pruning.enabled);
+  EXPECT_DOUBLE_EQ(spec.pruning.threshold, 0.5);
+  EXPECT_EQ(spec.warmup, -1);
+}
+
+TEST(ScenarioSpec, ParseSerializeParseIsIdentity) {
+  const char* doc = R"({
+    "name": "rt",
+    "pet": { "seed": 7, "synthesis": { "task_types": 5, "machine_types": 3 } },
+    "cluster": { "kind": "custom", "machine_types": [0, 2, 2, 1] },
+    "workload": { "rate": 25000, "pattern": "constant",
+                  "deadline": { "beta": [1.0, 2.0] } },
+    "sim": { "heuristic": "MSD", "queue_capacity": 7,
+             "pruning": { "toggle": "always", "threshold": 0.75 } },
+    "run": { "trials": 3, "seed": 11, "scale": 0.04, "warmup": 5 }
+  })";
+  const ScenarioSpec spec1 = parseSpec(doc);
+  const JsonValue json1 = exp::scenarioSpecToJson(spec1);
+  const ScenarioSpec spec2 = exp::parseScenarioSpec(json1);
+  const JsonValue json2 = exp::scenarioSpecToJson(spec2);
+  EXPECT_TRUE(json1 == json2);
+  // Spot-check the canonical form carried everything through.
+  EXPECT_EQ(spec2.name, "rt");
+  EXPECT_EQ(spec2.petSeed, 7u);
+  EXPECT_EQ(spec2.synthesis.numTaskTypes, 5);
+  EXPECT_EQ(spec2.clusterKind, ScenarioSpec::ClusterKind::Custom);
+  EXPECT_EQ(spec2.customMachineTypes, (std::vector<int>{0, 2, 2, 1}));
+  EXPECT_EQ(spec2.pattern, workload::ArrivalPattern::Constant);
+  EXPECT_DOUBLE_EQ(spec2.deadline.betaLo, 1.0);
+  EXPECT_EQ(spec2.heuristic, "MSD");
+  EXPECT_EQ(spec2.machineQueueCapacity, 7u);
+  EXPECT_EQ(spec2.pruning.toggle, pruning::ToggleMode::AlwaysDropping);
+  EXPECT_EQ(spec2.warmup, 5);
+}
+
+TEST(ScenarioSpec, BurstyRoundTrips) {
+  const char* doc = R"({
+    "workload": { "pattern": "bursty",
+                  "burst": { "base_rate_factor": 1.5, "peak_rate_factor": 4,
+                             "width": 2.5, "period": 50, "span": 300 } }
+  })";
+  const ScenarioSpec spec = parseSpec(doc);
+  EXPECT_EQ(spec.pattern, workload::ArrivalPattern::Bursty);
+  EXPECT_DOUBLE_EQ(spec.burstPeakFactor, 4.0);
+  const ScenarioSpec again =
+      exp::parseScenarioSpec(exp::scenarioSpecToJson(spec));
+  EXPECT_DOUBLE_EQ(again.burstBaseFactor, 1.5);
+  EXPECT_DOUBLE_EQ(again.burstWidth, 2.5);
+  EXPECT_DOUBLE_EQ(again.burstSpan, 300.0);
+  // Burst knobs written under a non-bursty pattern survive the canonical
+  // form too (a sweep case may flip the pattern later).
+  const ScenarioSpec spiky = parseSpec(
+      R"({"workload": {"burst": {"width": 9}}})");
+  const ScenarioSpec spikyAgain =
+      exp::parseScenarioSpec(exp::scenarioSpecToJson(spiky));
+  EXPECT_DOUBLE_EQ(spikyAgain.burstWidth, 9.0);
+  // Thinning-regime sanity is validated at load.
+  expectErrorContains(
+      R"({"workload": {"pattern": "bursty",
+          "burst": {"width": 10, "period": 5}}})",
+      "width must not exceed period");
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysWithLineNumbers) {
+  try {
+    (void)parseSpec("{\n  \"workload\": {\n    \"ratee\": 5\n  }\n}");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown key \"ratee\""), std::string::npos) << what;
+  }
+  expectErrorContains(R"({"bogus_top": 1})", "unknown key \"bogus_top\"");
+  expectErrorContains(R"({"sim": {"pruning": {"treshold": 0.5}}})",
+                      "unknown key \"treshold\"");
+}
+
+TEST(ScenarioSpec, RejectsInvalidValues) {
+  expectErrorContains(R"({"workload": {"pattern": "spikey"}})",
+                      "unknown pattern");
+  expectErrorContains(R"({"sim": {"heuristic": "NOPE"}})",
+                      "unknown heuristic");
+  expectErrorContains(R"({"sim": {"pruning": {"threshold": 1.5}}})",
+                      "must be in [0, 1]");
+  expectErrorContains(R"({"sim": {"pruning": {"toggle": "sometimes"}}})",
+                      "unknown mode");
+  expectErrorContains(R"({"run": {"scale": 0}})", "must be positive");
+  expectErrorContains(R"({"run": {"trials": 2.5}})", "integer");
+  expectErrorContains(R"({"cluster": {"kind": "custom"}})",
+                      "requires machine_types");
+  expectErrorContains(
+      R"({"cluster": {"machine_types": [0, 1]}})", "requires kind \"custom\"");
+  expectErrorContains(R"({"workload": {"deadline": {"beta": [2, 1]}}})",
+                      "hi must be >= lo");
+  expectErrorContains(R"({"sweep": []})", "sweep");
+  // Out-of-range numerics fail at parse (no UB casts, no silent wrap).
+  expectErrorContains(R"({"run": {"seed": 18446744073709551615}})",
+                      "2^53");
+  expectErrorContains(R"({"pet": {"synthesis": {"task_types": 1e12}}})",
+                      "out of int range");
+  // Custom machine-type indices are range-checked against the PET at load.
+  expectErrorContains(
+      R"({"cluster": {"kind": "custom", "machine_types": [0, 99]}})",
+      "out of range");
+  // Type errors surface the line too.
+  try {
+    (void)parseSpec("{\n \"sim\": {\n  \"heuristic\": 3\n }\n}");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, BoundExperimentMatchesPaperScenarioPath) {
+  // The declarative path must bind to exactly the ExperimentSpec the
+  // hand-written benches build — this is what makes scenario runs
+  // byte-identical to the figures.
+  const ScenarioSpec spec = parseSpec(R"({
+    "workload": { "rate": 25000 },
+    "sim": { "heuristic": "MSD" },
+    "run": { "trials": 3, "scale": 0.04 }
+  })");
+  const exp::BoundScenario bound = exp::bindScenario(spec);
+
+  exp::PaperScenario::Options options;
+  options.scale = 0.04;
+  options.trials = 3;
+  const exp::PaperScenario paper(options);
+  exp::ExperimentSpec expected = paper.experimentSpec(
+      exp::PaperScenario::kRate25k, workload::ArrivalPattern::Spiky);
+  expected.sim.heuristic = "MSD";
+
+  EXPECT_DOUBLE_EQ(bound.experiment.arrival.span, expected.arrival.span);
+  EXPECT_EQ(bound.experiment.arrival.totalTasks,
+            expected.arrival.totalTasks);
+  EXPECT_EQ(bound.experiment.arrival.numTaskTypes,
+            expected.arrival.numTaskTypes);
+  EXPECT_EQ(bound.experiment.sim.warmupMargin, expected.sim.warmupMargin);
+  EXPECT_EQ(bound.experiment.trials, expected.trials);
+  EXPECT_EQ(bound.experiment.baseSeed, expected.baseSeed);
+  EXPECT_EQ(bound.experiment.sim.heuristic, expected.sim.heuristic);
+  EXPECT_EQ(bound.model, &bound.paper->hetero());  // hetero cluster selected
+  EXPECT_EQ(bound.model->numMachines(), paper.hetero().numMachines());
+}
+
+// --- Sweep expansion --------------------------------------------------------
+
+ScenarioDoc parseDoc(const std::string& text) {
+  return exp::parseScenarioDoc(text);
+}
+
+TEST(Sweep, ExpandsValuesRangeAndCases) {
+  const ScenarioDoc doc = parseDoc(R"({
+    "run": { "trials": 2, "scale": 0.02 },
+    "sweep": [
+      { "field": "workload.rate", "values": [15000, 20000],
+        "labels": ["15k", "20k"] },
+      { "field": "sim.pruning.threshold",
+        "range": { "from": 0.25, "to": 0.75, "step": 0.25 } },
+      { "label": "engine", "cases": [
+        { "name": "inc", "set": { "sim.incremental_mapping": true } },
+        { "name": "ref", "set": { "sim.incremental_mapping": false } }
+      ] }
+    ]
+  })");
+  ASSERT_EQ(doc.axes.size(), 3u);
+  EXPECT_EQ(doc.axes[0].size(), 2u);
+  EXPECT_EQ(doc.axes[1].size(), 3u);  // 0.25, 0.5, 0.75
+  EXPECT_EQ(doc.axes[2].size(), 2u);
+
+  const std::vector<exp::GridPoint> grid = exp::expandGrid(doc);
+  ASSERT_EQ(grid.size(), 12u);
+  // Row-major with the last axis fastest.
+  EXPECT_EQ(grid[0].labels,
+            (std::vector<std::string>{"15k", "0.25", "inc"}));
+  EXPECT_EQ(grid[1].labels,
+            (std::vector<std::string>{"15k", "0.25", "ref"}));
+  EXPECT_EQ(grid[2].labels, (std::vector<std::string>{"15k", "0.5", "inc"}));
+  EXPECT_EQ(grid[11].labels,
+            (std::vector<std::string>{"20k", "0.75", "ref"}));
+  // Assignments landed in the specs.
+  EXPECT_EQ(grid[0].spec.rate, 15000u);
+  EXPECT_DOUBLE_EQ(grid[2].spec.pruning.threshold, 0.5);
+  EXPECT_TRUE(grid[0].spec.incrementalMappingEnabled);
+  EXPECT_FALSE(grid[1].spec.incrementalMappingEnabled);
+  EXPECT_EQ(grid[11].spec.rate, 20000u);
+}
+
+TEST(Sweep, GridPointsKeepThePairedSeed) {
+  const ScenarioDoc doc = parseDoc(R"({
+    "run": { "seed": 777 },
+    "sweep": [
+      { "field": "sim.heuristic", "values": ["MM", "MSD", "MMU"] },
+      { "label": "p", "cases": [
+        { "name": "off", "set": { "sim.pruning": { "enabled": false,
+            "reactive_drop": false, "defer": false, "toggle": "never" } } },
+        { "name": "on", "set": { "sim.pruning": {} } }
+      ] }
+    ]
+  })");
+  const std::vector<exp::GridPoint> grid = exp::expandGrid(doc);
+  ASSERT_EQ(grid.size(), 6u);
+  for (const exp::GridPoint& point : grid) {
+    EXPECT_EQ(point.spec.seed, 777u)
+        << "paired-trials methodology: every grid point must see the same "
+           "workload seeds";
+    EXPECT_EQ(point.spec.trials, 8u);
+  }
+}
+
+TEST(Sweep, CaseObjectAssignmentReplacesTheSubtree) {
+  const ScenarioDoc doc = parseDoc(R"({
+    "sim": { "pruning": { "threshold": 0.9 } },
+    "sweep": [
+      { "label": "p", "cases": [
+        { "name": "paper", "set": { "sim.pruning": {} } }
+      ] }
+    ]
+  })");
+  const std::vector<exp::GridPoint> grid = exp::expandGrid(doc);
+  ASSERT_EQ(grid.size(), 1u);
+  // {} replaces the whole pruning object => paper defaults, not 0.9.
+  EXPECT_DOUBLE_EQ(grid[0].spec.pruning.threshold, 0.5);
+}
+
+TEST(Sweep, InvalidSweptValueFailsAtLoadWithContext) {
+  try {
+    (void)parseDoc(R"({
+      "sweep": [
+        { "field": "sim.heuristic", "values": ["MM", "NOPE"] }
+      ]
+    })");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("grid point [NOPE]"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown heuristic"), std::string::npos) << what;
+  }
+}
+
+TEST(Sweep, RejectsMalformedAxes) {
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"values": [1]}]})"), ScenarioError);
+  EXPECT_THROW(
+      parseDoc(R"({"sweep": [{"field": "run.scale"}]})"), ScenarioError);
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"field": "run.scale",
+      "values": [0.1], "range": {"from": 1, "to": 2, "step": 1}}]})"),
+               ScenarioError);
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"field": "run.scale",
+      "range": {"from": 1, "to": 2, "step": 0}}]})"),
+               ScenarioError);
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"field": "run.scale",
+      "values": [0.1, 0.2], "labels": ["only-one"]}]})"),
+               ScenarioError);
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"cases": []}]})"), ScenarioError);
+  EXPECT_THROW(parseDoc(R"({"sweep": [{"cases": [{"set": {}}]}]})"),
+               ScenarioError);
+}
+
+TEST(Sweep, SetDirectiveParsesJsonValuesAndBareWords) {
+  JsonValue root = util::parseJson(R"({"sim": {"heuristic": "MM"}})");
+  exp::applySetDirective(root, "sim.heuristic=MSD");
+  exp::applySetDirective(root, "run.scale=0.05");
+  exp::applySetDirective(root, "sim.pct_cache=false");
+  exp::applySetDirective(root, "name=\"quoted name\"");
+  EXPECT_EQ(root.find("sim")->find("heuristic")->asString(), "MSD");
+  EXPECT_DOUBLE_EQ(root.find("run")->find("scale")->asNumber(), 0.05);
+  EXPECT_EQ(root.find("sim")->find("pct_cache")->asBool(), false);
+  EXPECT_EQ(root.find("name")->asString(), "quoted name");
+  EXPECT_THROW(exp::applySetDirective(root, "no-equals"), ScenarioError);
+  EXPECT_THROW(exp::applySetDirective(root, "=5"), ScenarioError);
+  // Traversing through a scalar is an error, not a silent overwrite.
+  EXPECT_THROW(exp::applySetDirective(root, "sim.heuristic.x=1"),
+               ScenarioError);
+}
+
+TEST(Sweep, DocRoundTripPreservesTheGrid) {
+  const ScenarioDoc doc = parseDoc(R"({
+    "workload": { "rate": 20000 },
+    "sweep": [
+      { "field": "sim.heuristic", "values": ["MM", "MSD"] },
+      { "label": "p", "cases": [
+        { "name": "on", "set": { "sim.pruning": {} } },
+        { "name": "off", "set": { "sim.pruning": { "enabled": false,
+            "reactive_drop": false, "defer": false, "toggle": "never" } } }
+      ] }
+    ]
+  })");
+  const ScenarioDoc again = exp::parseScenarioDoc(exp::writeScenarioDoc(doc));
+  const auto grid1 = exp::expandGrid(doc);
+  const auto grid2 = exp::expandGrid(again);
+  ASSERT_EQ(grid1.size(), grid2.size());
+  for (std::size_t i = 0; i < grid1.size(); ++i) {
+    EXPECT_EQ(grid1[i].labels, grid2[i].labels);
+    EXPECT_TRUE(exp::scenarioSpecToJson(grid1[i].spec) ==
+                exp::scenarioSpecToJson(grid2[i].spec))
+        << "grid point " << i;
+  }
+}
+
+TEST(Sweep, RunSweepMatchesDirectExperiments) {
+  // End-to-end: a 2x2 sweep at tiny scale must reproduce runExperiment on
+  // the equivalent hand-built specs, byte for byte.
+  const ScenarioDoc doc = parseDoc(R"({
+    "run": { "trials": 2, "scale": 0.015 },
+    "sweep": [
+      { "field": "sim.heuristic", "values": ["MM", "MCT"] }
+    ]
+  })");
+  const std::vector<exp::SweepOutcome> outcomes = exp::runSweep(doc);
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  exp::PaperScenario::Options options;
+  options.scale = 0.015;
+  options.trials = 2;
+  const exp::PaperScenario paper(options);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    exp::ExperimentSpec spec = paper.experimentSpec(
+        exp::PaperScenario::kRate15k, workload::ArrivalPattern::Spiky);
+    spec.sim.heuristic = i == 0 ? "MM" : "MCT";
+    const exp::ExperimentResult direct =
+        exp::runExperiment(paper.hetero(), spec);
+    EXPECT_EQ(outcomes[i].result.robustnessCi.mean,
+              direct.robustnessCi.mean);
+    EXPECT_EQ(outcomes[i].result.robustnessCi.halfWidth,
+              direct.robustnessCi.halfWidth);
+    EXPECT_EQ(outcomes[i].result.perTrialRobustness,
+              direct.perTrialRobustness);
+  }
+}
+
+TEST(Sweep, ModelCacheSharesThePaperScenario) {
+  // Two grid points with identical PET/scale keys must reuse one
+  // PaperScenario (the sweep runner's whole point); a swept pet seed must
+  // not.
+  const ScenarioDoc shared = parseDoc(R"({
+    "run": { "trials": 1, "scale": 0.01 },
+    "sweep": [ { "field": "sim.heuristic", "values": ["MM", "MSD"] } ]
+  })");
+  const auto grid = exp::expandGrid(shared);
+  EXPECT_EQ(exp::scenarioModelKey(grid[0].spec),
+            exp::scenarioModelKey(grid[1].spec));
+
+  const ScenarioDoc differing = parseDoc(R"({
+    "run": { "trials": 1, "scale": 0.01 },
+    "sweep": [ { "field": "pet.seed", "values": [1, 2] } ]
+  })");
+  const auto grid2 = exp::expandGrid(differing);
+  EXPECT_NE(exp::scenarioModelKey(grid2[0].spec),
+            exp::scenarioModelKey(grid2[1].spec));
+}
+
+}  // namespace

@@ -1,36 +1,63 @@
 // hcs_sim — command-line driver for the simulation platform.
 //
-// Runs a multi-trial experiment for any heuristic/pruning configuration
-// without writing C++.  Examples:
+// Scenario mode (preferred): declarative JSON scenario files, optionally
+// with parameter-sweep axes, executed through the shared sweep runner —
+// the same engine the figure benches wrap.
+//
+//   hcs_sim run scenarios/fig09_batch_pruning.json
+//   hcs_sim run scenarios/smoke.json --out report.json
+//   hcs_sim run scenarios/fig08_deferring_threshold.json \
+//       --set run.scale=0.05 --set run.trials=3 --csv
+//   hcs_sim expand scenarios/fig09_batch_pruning.json   # dry-run the grid
+//   hcs_sim print scenarios/smoke.json                  # canonical form
+//
+// Legacy flag mode (one ad-hoc experiment without a file):
 //
 //   hcs_sim --heuristic MM --rate 20000 --trials 10
-//   hcs_sim --heuristic MSD --no-pruning --pattern constant
 //   hcs_sim --heuristic EDF --homogeneous --threshold 0.25 --csv
-//   hcs_sim --heuristic KPB --toggle always --no-defer --scale 0.05
-//   hcs_sim --trace trial.trace --heuristic MM       # replay a saved trace
+//   hcs_sim --trace trial.trace --heuristic MM     # replay a saved trace
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.h"
 #include "exp/report.h"
 #include "exp/scenario.h"
+#include "exp/scenario_spec.h"
+#include "exp/sweep.h"
+#include "util/json.h"
 #include "workload/trace_io.h"
 
 namespace {
 
 using namespace hcs;
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --heuristic NAME   RR|MET|MCT|KPB|MaxChance|MM|MSD|MMU|MaxMin|Sufferage|\n"
-      "                     FCFS-RR|EDF|SJF            (default MM)\n"
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(out,
+      "usage: %s <command> [options]\n"
+      "\n"
+      "scenario commands:\n"
+      "  run <scenario.json>    execute the scenario (and its sweep grid)\n"
+      "    --set path=value     override any field (repeatable), e.g.\n"
+      "                         --set sim.heuristic=MSD --set run.scale=0.05\n"
+      "    --out FILE           write the machine-readable JSON report\n"
+      "    --csv                tables as CSV (flat per-point CSV on stdout\n"
+      "                         with --flat)\n"
+      "    --flat               flat per-grid-point CSV instead of tables\n"
+      "    --quiet              suppress progress lines on stderr\n"
+      "  expand <scenario.json> [--set ...]  list the expanded grid, no runs\n"
+      "  print <scenario.json> [--set ...]   canonical full-form scenario\n"
+      "\n"
+      "legacy single-experiment flags (no scenario file):\n"
+      "  --heuristic NAME   RR|MET|MCT|KPB|MaxChance|MM|MSD|MMU|MaxMin|\n"
+      "                     Sufferage|FCFS-RR|EDF|SJF      (default MM)\n"
       "  --rate N           paper-equivalent tasks (default 20000)\n"
-      "  --pattern P        spiky|constant             (default spiky)\n"
+      "  --pattern P        spiky|constant                (default spiky)\n"
       "  --homogeneous      use the homogeneous cluster\n"
       "  --trials N         trials (default 8)\n"
       "  --scale X          workload scale factor (default 0.1)\n"
@@ -38,17 +65,14 @@ void usage(const char* argv0) {
       "  --seed N           base seed (default 2019)\n"
       "  --no-pruning       disable the pruning mechanism entirely\n"
       "  --threshold X      pruning threshold beta in [0,1] (default 0.5)\n"
-      "  --toggle T         reactive|always|never      (default reactive)\n"
+      "  --toggle T         reactive|always|never         (default reactive)\n"
       "  --no-defer         disable task deferring\n"
       "  --fairness C       fairness factor (default 0.05)\n"
       "  --capacity N       machine queue capacity (default 4)\n"
       "  --kpb X            KPB's K fraction (default 0.375)\n"
       "  --abort-overdue    abort running tasks at their deadline\n"
-      "  --no-pct-cache     disable PCT memoization (results identical;\n"
-      "                     for timing comparisons)\n"
-      "  --no-incremental-map  use the reference mapping engine (fresh\n"
-      "                     context + full re-evaluation per round; results\n"
-      "                     identical, for timing comparisons)\n"
+      "  --no-pct-cache     disable PCT memoization (results identical)\n"
+      "  --no-incremental-map  use the reference mapping engine\n"
       "  --trace FILE       replay a saved workload trace (single trial)\n"
       "  --save-trace FILE  save trial 0's workload to FILE and exit\n"
       "  --csv              machine-readable output\n",
@@ -60,9 +84,175 @@ void usage(const char* argv0) {
   std::exit(2);
 }
 
-}  // namespace
+[[noreturn]] void dieWithUsage(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "hcs_sim: %s\n\n", message.c_str());
+  usage(argv0, stderr);
+  std::exit(2);
+}
 
-int main(int argc, char** argv) {
+// --- Scenario mode ----------------------------------------------------------
+
+struct ScenarioArgs {
+  std::string path;
+  std::vector<std::string> sets;
+  std::string outPath;
+  bool csv = false;
+  bool flat = false;
+  bool quiet = false;
+};
+
+ScenarioArgs parseScenarioArgs(const char* argv0, int argc, char** argv,
+                               int first, bool runOptions) {
+  ScenarioArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) dieWithUsage(argv0, "missing argument after " + arg);
+      return argv[++i];
+    };
+    // --out/--csv/--flat/--quiet only mean something for `run`; accepting
+    // them elsewhere would silently not do what the user asked.
+    if (arg == "--set") {
+      args.sets.emplace_back(next());
+    } else if (arg == "--out" && runOptions) {
+      args.outPath = next();
+    } else if (arg == "--csv" && runOptions) {
+      args.csv = true;
+    } else if (arg == "--flat" && runOptions) {
+      args.flat = true;
+    } else if (arg == "--quiet" && runOptions) {
+      args.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv0, stdout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      dieWithUsage(argv0, "unknown option " + arg);
+    } else if (args.path.empty()) {
+      args.path = arg;
+    } else {
+      dieWithUsage(argv0, "unexpected argument " + arg);
+    }
+  }
+  if (args.path.empty()) {
+    dieWithUsage(argv0, "missing scenario file");
+  }
+  return args;
+}
+
+/// Loads the scenario, applies --set overrides, re-validates.
+exp::ScenarioDoc loadWithOverrides(const ScenarioArgs& args) {
+  exp::ScenarioDoc doc = exp::loadScenarioDoc(args.path);
+  if (args.sets.empty()) return doc;
+  for (const std::string& directive : args.sets) {
+    // The file's sweep axes were already split off doc.base and would
+    // clobber a "sweep" assignment on re-serialization — reject instead of
+    // silently ignoring it.
+    if (directive.rfind("sweep=", 0) == 0 ||
+        directive.rfind("sweep.", 0) == 0) {
+      die("--set cannot override \"sweep\"; edit the scenario file");
+    }
+    exp::applySetDirective(doc.base, directive);
+  }
+  // Overridden documents must still satisfy the schema end-to-end.  Error
+  // line numbers now refer to the re-serialized document (`hcs_sim print`
+  // shows it), not the original file — say so in the origin.
+  return exp::parseScenarioDoc(exp::writeScenarioDoc(doc),
+                               args.path + " (after --set; lines refer to "
+                                           "the canonical form)");
+}
+
+int cmdRun(const char* argv0, int argc, char** argv) {
+  const ScenarioArgs args =
+      parseScenarioArgs(argv0, argc, argv, 2, /*runOptions=*/true);
+  const exp::ScenarioDoc doc = loadWithOverrides(args);
+  const auto progress = [&](std::size_t i, std::size_t n,
+                            const std::string& label) {
+    if (args.quiet) return;
+    std::fprintf(stderr, "[%zu/%zu] %s\n", i + 1, n,
+                 label.empty() ? "run" : label.c_str());
+  };
+  const std::vector<exp::SweepOutcome> outcomes =
+      exp::runSweep(doc, progress);
+  if (args.flat) {
+    exp::printSweepCsv(std::cout, doc, outcomes);
+  } else {
+    const exp::ScenarioSpec base = doc.baseSpec();
+    if (!args.csv) {
+      std::printf("scenario: %s\n",
+                  base.name.empty() ? args.path.c_str() : base.name.c_str());
+      if (!base.description.empty()) {
+        std::printf("%s\n", base.description.c_str());
+      }
+      std::printf("scale=%g trials=%zu seed=%llu grid=%zu\n\n", base.scale,
+                  base.trials, static_cast<unsigned long long>(base.seed),
+                  outcomes.size());
+    }
+    exp::printSweepTables(std::cout, doc, outcomes, args.csv);
+  }
+  std::cout << std::flush;
+  if (!args.outPath.empty()) {
+    const std::string json =
+        util::writeJson(exp::sweepReportJson(doc, outcomes));
+    std::ofstream out(args.outPath, std::ios::binary);
+    if (!out) die("cannot write " + args.outPath);
+    out << json;
+    if (!args.quiet) {
+      std::fprintf(stderr, "wrote %s\n", args.outPath.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmdExpand(const char* argv0, int argc, char** argv) {
+  const ScenarioArgs args =
+      parseScenarioArgs(argv0, argc, argv, 2, /*runOptions=*/false);
+  const exp::ScenarioDoc doc = loadWithOverrides(args);
+  const std::vector<exp::GridPoint> grid = exp::expandGrid(doc);
+  std::printf("%zu grid point%s", grid.size(), grid.size() == 1 ? "" : "s");
+  if (!doc.axes.empty()) {
+    std::printf(" (");
+    for (std::size_t a = 0; a < doc.axes.size(); ++a) {
+      if (a > 0) std::printf(" x ");
+      std::printf("%zu %s", doc.axes[a].size(), doc.axes[a].label.c_str());
+    }
+    std::printf(")");
+  }
+  std::printf("\n");
+  for (const exp::GridPoint& point : grid) {
+    std::printf("  [");
+    for (std::size_t a = 0; a < point.labels.size(); ++a) {
+      if (a > 0) std::printf(", ");
+      std::printf("%s", point.labels[a].c_str());
+    }
+    std::printf("] heuristic=%s cluster=%s trials=%zu seed=%llu\n",
+                point.spec.heuristic.c_str(),
+                point.spec.clusterKind ==
+                        exp::ScenarioSpec::ClusterKind::Homogeneous
+                    ? "homogeneous"
+                    : (point.spec.clusterKind ==
+                               exp::ScenarioSpec::ClusterKind::Custom
+                           ? "custom"
+                           : "heterogeneous"),
+                point.spec.trials,
+                static_cast<unsigned long long>(point.spec.seed));
+  }
+  return 0;
+}
+
+int cmdPrint(const char* argv0, int argc, char** argv) {
+  const ScenarioArgs args =
+      parseScenarioArgs(argv0, argc, argv, 2, /*runOptions=*/false);
+  const exp::ScenarioDoc doc = loadWithOverrides(args);
+  exp::ScenarioDoc canonical;
+  canonical.base = exp::scenarioSpecToJson(doc.baseSpec());
+  canonical.axes = doc.axes;
+  std::fputs(exp::writeScenarioDoc(canonical).c_str(), stdout);
+  return 0;
+}
+
+// --- Legacy flag mode -------------------------------------------------------
+
+int legacyMain(int argc, char** argv) {
   exp::PaperScenario::Options options = exp::PaperScenario::optionsFromEnv();
   std::string heuristic = "MM";
   std::size_t rate = 20000;
@@ -77,11 +267,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) die("missing argument after " + arg);
+      if (i + 1 >= argc) dieWithUsage(argv[0], "missing argument after " + arg);
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      usage(argv[0], stdout);
       return 0;
     } else if (arg == "--heuristic") {
       heuristic = next();
@@ -94,7 +284,7 @@ int main(int argc, char** argv) {
       } else if (p == "constant") {
         pattern = workload::ArrivalPattern::Constant;
       } else {
-        die("unknown pattern " + p);
+        dieWithUsage(argv[0], "unknown pattern " + p);
       }
     } else if (arg == "--homogeneous") {
       homogeneous = true;
@@ -119,7 +309,7 @@ int main(int argc, char** argv) {
       } else if (t == "never") {
         sim.pruning.toggle = pruning::ToggleMode::NoDropping;
       } else {
-        die("unknown toggle mode " + t);
+        dieWithUsage(argv[0], "unknown toggle mode " + t);
       }
     } else if (arg == "--no-defer") {
       sim.pruning.deferEnabled = false;
@@ -142,7 +332,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--csv") {
       csv = true;
     } else {
-      die("unknown argument " + arg + " (try --help)");
+      dieWithUsage(argv[0], "unknown argument " + arg);
     }
   }
 
@@ -182,23 +372,7 @@ int main(int argc, char** argv) {
     spec.baseSeed = seed;
     const exp::ExperimentResult result = exp::runExperiment(cluster, spec);
 
-    exp::Table table({"metric", "mean ±95% CI"});
-    table.addRow({"robustness (% on time)", exp::formatCi(result.robustnessCi)});
-    table.addRow({"completed late %",
-                  exp::formatCi(stats::meanConfidenceInterval(
-                      result.completedLatePct))});
-    table.addRow({"dropped reactive %",
-                  exp::formatCi(stats::meanConfidenceInterval(
-                      result.droppedReactivePct))});
-    table.addRow({"dropped proactive %",
-                  exp::formatCi(stats::meanConfidenceInterval(
-                      result.droppedProactivePct))});
-    table.addRow({"deferrals per task",
-                  exp::formatCi(stats::meanConfidenceInterval(
-                      result.deferralsPerTask), 2)});
-    table.addRow({"mean machine utilization",
-                  exp::formatCi(stats::meanConfidenceInterval(
-                      result.meanUtilization), 2)});
+    const exp::Table table = exp::experimentMetricsTable(result);
     if (csv) {
       table.printCsv(std::cout);
     } else {
@@ -215,4 +389,28 @@ int main(int argc, char** argv) {
     die(e.what());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    dieWithUsage(argv[0], "no command given");
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "run") return cmdRun(argv[0], argc, argv);
+    if (command == "expand") return cmdExpand(argv[0], argc, argv);
+    if (command == "print") return cmdPrint(argv[0], argc, argv);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  if (command == "--help" || command == "-h") {
+    usage(argv[0], stdout);
+    return 0;
+  }
+  if (!command.empty() && command[0] == '-') {
+    return legacyMain(argc, argv);
+  }
+  dieWithUsage(argv[0], "unknown command " + command);
 }
