@@ -1,0 +1,202 @@
+// Micro-benchmark for the federated dispatch tier: what the gateway costs
+// on top of the single-cluster engine, and what each routing policy costs
+// per routed task once several clusters are in play.
+//
+// After the google-benchmark suites, main() verifies the federation's
+// keystone contract — a 1-cluster federation with zero dispatch latency
+// reproduces core::Simulation exactly — then times the gateway overhead
+// (direct vs federated N=1) and every routing policy at N=4 on an
+// oversubscribed stream, writing the comparison to BENCH_federation.json.
+// Exits nonzero if the N=1 federation ever diverges from the direct engine.
+// HCS_FED_REPS overrides the best-of repetition count (default 3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/simulation.h"
+#include "exp/scenario.h"
+#include "fed/federation.h"
+#include "sim/trace.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace hcs;
+
+const exp::PaperScenario& scenario() {
+  static exp::PaperScenario s;  // the paper's 12-type x 8-machine cluster
+  return s;
+}
+
+workload::Workload oversubscribedWorkload(std::uint64_t seed) {
+  return workload::Workload::generate(
+      *scenario().pet(),
+      scenario().arrivalSpec(exp::PaperScenario::kRate25k,
+                             workload::ArrivalPattern::Spiky),
+      {}, seed);
+}
+
+core::SimulationConfig baseConfig() {
+  core::SimulationConfig config;
+  config.heuristic = "MM";
+  config.warmupMargin = 0;
+  return config;
+}
+
+fed::FederatedTrialResult runFederation(const workload::Workload& wl,
+                                        std::size_t clusters,
+                                        fed::RoutingPolicyKind routing) {
+  fed::FederationSpec spec;
+  spec.clusters = clusters;
+  spec.routing = routing;
+  std::vector<const sim::ExecutionModel*> models(clusters,
+                                                 &scenario().hetero());
+  return fed::FederatedSimulation(models, wl, baseConfig(), spec).run();
+}
+
+void BM_Direct_SingleCluster(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = baseConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_Federated_N1(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  for (auto _ : state) {
+    const fed::FederatedTrialResult r =
+        runFederation(wl, 1, fed::RoutingPolicyKind::RoundRobin);
+    benchmark::DoNotOptimize(r.total.robustnessPercent);
+  }
+}
+void BM_Federated_N4_MaxChance(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  for (auto _ : state) {
+    const fed::FederatedTrialResult r =
+        runFederation(wl, 4, fed::RoutingPolicyKind::MaxChance);
+    benchmark::DoNotOptimize(r.total.robustnessPercent);
+  }
+}
+BENCHMARK(BM_Direct_SingleCluster);
+BENCHMARK(BM_Federated_N1);
+BENCHMARK(BM_Federated_N4_MaxChance);
+
+double bestOfUs(int reps, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double us = run();
+    if (r == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+int runFederationComparison() {
+  const char* repsEnv = std::getenv("HCS_FED_REPS");
+  const int reps = repsEnv != nullptr ? std::max(1, std::atoi(repsEnv)) : 3;
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const double tasks = static_cast<double>(wl.size());
+
+  hcs::bench::JsonWriter json;
+  json.field("bench", "federation").field("heuristic", "MM");
+  json.field("tasks", static_cast<std::uint64_t>(wl.size()));
+
+  // Keystone check: the N=1, zero-latency federation must reproduce the
+  // direct engine exactly (the full trace-level oracle lives in
+  // tests/federation_test.cpp; here the digest guards the bench numbers).
+  const core::TrialResult direct =
+      core::Simulation(scenario().hetero(), wl, baseConfig()).run();
+  const fed::FederatedTrialResult identity =
+      runFederation(wl, 1, fed::RoutingPolicyKind::RoundRobin);
+  bool diverged = false;
+  if (identity.total.robustnessPercent != direct.robustnessPercent ||
+      identity.total.mappingEvents != direct.mappingEvents ||
+      identity.total.makespan != direct.makespan) {
+    std::fprintf(stderr,
+                 "micro_federation: N=1 federation DIVERGED from the direct "
+                 "engine\n");
+    diverged = true;
+  }
+
+  const double directUs = bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, baseConfig()).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+  const double fedN1Us = bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const fed::FederatedTrialResult r =
+        runFederation(wl, 1, fed::RoutingPolicyKind::RoundRobin);
+    benchmark::DoNotOptimize(r.total.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+  const double overheadPct =
+      directUs > 0.0 ? 100.0 * (fedN1Us - directUs) / directUs : 0.0;
+  std::printf("\nfederation comparison (MM, 25k-equivalent stream, best of "
+              "%d):\n", reps);
+  std::printf(
+      "  gateway overhead (N=1): direct %.0f us -> federated %.0f us "
+      "(%+.1f%%, %.3f us/task)\n",
+      directUs, fedN1Us, overheadPct, (fedN1Us - directUs) / tasks);
+  json.field("direct_trial_us", directUs);
+  json.field("federated_n1_trial_us", fedN1Us);
+  json.field("gateway_overhead_pct", overheadPct);
+
+  for (const fed::RoutingPolicyKind kind :
+       {fed::RoutingPolicyKind::RoundRobin,
+        fed::RoutingPolicyKind::LeastQueueDepth,
+        fed::RoutingPolicyKind::LeastExpectedCompletion,
+        fed::RoutingPolicyKind::MaxChance}) {
+    double robustness = 0.0;
+    const double us = bestOfUs(reps, [&] {
+      const auto start = std::chrono::steady_clock::now();
+      const fed::FederatedTrialResult r = runFederation(wl, 4, kind);
+      robustness = r.total.robustnessPercent;
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    });
+    std::printf("  N=4 %-12s: %8.0f us/trial (%.3f us/task), robustness "
+                "%.1f%%\n",
+                std::string(toString(kind)).c_str(), us, us / tasks,
+                robustness);
+    char name[64];
+    std::snprintf(name, sizeof name, "n4_%s_trial_us",
+                  std::string(toString(kind)).c_str());
+    json.field(name, us);
+    std::snprintf(name, sizeof name, "n4_%s_us_per_task",
+                  std::string(toString(kind)).c_str());
+    json.field(name, us / tasks);
+    std::snprintf(name, sizeof name, "n4_%s_robustness",
+                  std::string(toString(kind)).c_str());
+    json.field(name, robustness);
+  }
+
+  json.write("BENCH_federation.json");
+  return diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runFederationComparison();
+}

@@ -7,6 +7,12 @@
 
 namespace hcs::exp {
 
+std::uint64_t executionSeedFor(std::uint64_t workloadSeed) {
+  // Independent execution randomness per trial, decoupled from the
+  // workload stream.
+  return workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
+}
+
 TrialRunner::TrialRunner(const workload::BoundExecutionModel& model,
                          const ExperimentSpec& spec)
     : model_(&model), spec_(&spec) {}
@@ -17,27 +23,14 @@ core::TrialResult TrialRunner::runTrial(std::size_t trial) const {
       model_->matrix(), spec_->arrival, spec_->deadline, workloadSeed);
 
   core::SimulationConfig simConfig = spec_->sim;
-  // Independent execution randomness per trial, decoupled from the
-  // workload stream.
-  simConfig.executionSeed = workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
+  simConfig.executionSeed = executionSeedFor(workloadSeed);
 
   return core::Simulation(*model_, wl, simConfig).run();
 }
 
-ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
-                               const ExperimentSpec& spec) {
-  if (spec.trials == 0) {
-    throw std::invalid_argument("runExperiment: need at least one trial");
-  }
-  const TrialRunner runner(model, spec);
-
-  // Execute trials on the pool (each owns all of its mutable state)…
-  std::vector<core::TrialResult> outcomes(spec.trials);
-  ParallelExecutor(spec.jobs).run(
-      spec.trials,
-      [&](std::size_t trial) { outcomes[trial] = runner.runTrial(trial); });
-
-  // …then fold the per-trial slots in trial order, so the aggregates are
+ExperimentResult aggregateTrialResults(
+    const std::vector<core::TrialResult>& outcomes) {
+  // Fold the per-trial slots in trial order, so the aggregates are
   // bit-identical to a serial run no matter how many jobs executed.
   ExperimentResult result;
   for (const core::TrialResult& tr : outcomes) {
@@ -66,6 +59,22 @@ ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
   }
   result.robustnessCi = stats::meanConfidenceInterval(result.robustness);
   return result;
+}
+
+ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
+                               const ExperimentSpec& spec) {
+  if (spec.trials == 0) {
+    throw std::invalid_argument("runExperiment: need at least one trial");
+  }
+  const TrialRunner runner(model, spec);
+
+  // Execute trials on the pool (each owns all of its mutable state)…
+  std::vector<core::TrialResult> outcomes(spec.trials);
+  ParallelExecutor(spec.jobs).run(
+      spec.trials,
+      [&](std::size_t trial) { outcomes[trial] = runner.runTrial(trial); });
+
+  return aggregateTrialResults(outcomes);
 }
 
 }  // namespace hcs::exp

@@ -74,4 +74,15 @@ class TrialRunner {
 ExperimentResult runExperiment(const workload::BoundExecutionModel& model,
                                const ExperimentSpec& spec);
 
+/// Folds per-trial outcomes — already in trial order — into the aggregate
+/// statistics.  Shared by runExperiment and the federated runner
+/// (fed/fed_experiment.h), so both report identical aggregates for
+/// identical trials.
+ExperimentResult aggregateTrialResults(
+    const std::vector<core::TrialResult>& outcomes);
+
+/// The per-trial execution seed derived from a workload seed; exposed so
+/// every runner (single-cluster, federated) derives the identical stream.
+std::uint64_t executionSeedFor(std::uint64_t workloadSeed);
+
 }  // namespace hcs::exp

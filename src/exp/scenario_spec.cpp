@@ -370,6 +370,73 @@ void parseSim(const JsonValue& json, ScenarioSpec& spec) {
   sim.done();
 }
 
+void parseFederation(const JsonValue& json, ScenarioSpec& spec) {
+  Fields f(json, "federation");
+  if (const auto* v = f.get("enabled")) {
+    spec.federationEnabled = getBool(*v, "federation.enabled");
+  }
+  if (const auto* v = f.get("clusters")) {
+    spec.fedClusters = getCount(*v, "federation.clusters");
+    if (spec.fedClusters == 0) {
+      fail(*v, "federation.clusters: must be >= 1");
+    }
+  }
+  if (const auto* v = f.get("routing")) {
+    const std::string name = getString(*v, "federation.routing");
+    try {
+      spec.fedRouting = fed::parseRoutingPolicy(name);
+    } catch (const std::invalid_argument&) {
+      fail(*v, "federation.routing: unknown policy \"" + name +
+                   "\" (round_robin|least_queue|least_ect|max_chance)");
+    }
+  }
+  if (const auto* v = f.get("dispatch_latency")) {
+    spec.fedDispatchLatency = getNumber(*v, "federation.dispatch_latency");
+    if (spec.fedDispatchLatency < 0.0) {
+      fail(*v, "federation.dispatch_latency: must be >= 0");
+    }
+  }
+  if (const auto* v = f.get("cluster_shapes")) {
+    if (!v->isArray() || v->array().empty()) {
+      fail(*v, "federation.cluster_shapes: expected a non-empty array of "
+               "machine-type arrays");
+    }
+    spec.fedClusterShapes.clear();
+    for (const JsonValue& shape : v->array()) {
+      if (!shape.isArray() || shape.array().empty()) {
+        fail(shape, "federation.cluster_shapes: each cluster shape must be "
+                    "a non-empty array of machine-type indices");
+      }
+      std::vector<int> types;
+      for (const JsonValue& item : shape.array()) {
+        const double x = getNumber(item, "federation.cluster_shapes");
+        if (x < 0.0 || x != std::floor(x) || x > 2147483647.0) {
+          fail(item, "federation.cluster_shapes: entries must be "
+                     "machine-type indices");
+        }
+        // "pet" parses before "federation", so the PET column count is
+        // final here.
+        if (x >= static_cast<double>(spec.synthesis.numMachineTypes)) {
+          fail(item, "federation.cluster_shapes: machine type " +
+                         std::to_string(static_cast<int>(x)) +
+                         " out of range (PET has " +
+                         std::to_string(spec.synthesis.numMachineTypes) +
+                         " machine types)");
+        }
+        types.push_back(static_cast<int>(x));
+      }
+      spec.fedClusterShapes.push_back(std::move(types));
+    }
+  }
+  f.done();
+  if (!spec.fedClusterShapes.empty() &&
+      spec.fedClusterShapes.size() != spec.fedClusters) {
+    fail(json, "federation: cluster_shapes must have exactly `clusters` (" +
+                   std::to_string(spec.fedClusters) + ") entries, got " +
+                   std::to_string(spec.fedClusterShapes.size()));
+  }
+}
+
 void parseRun(const JsonValue& json, ScenarioSpec& spec) {
   Fields run(json, "run");
   if (const auto* v = run.get("trials")) {
@@ -412,6 +479,7 @@ ScenarioSpec parseScenarioSpec(const JsonValue& json) {
   if (const auto* v = top.get("cluster")) parseCluster(*v, spec);
   if (const auto* v = top.get("workload")) parseWorkload(*v, spec);
   if (const auto* v = top.get("sim")) parseSim(*v, spec);
+  if (const auto* v = top.get("federation")) parseFederation(*v, spec);
   if (const auto* v = top.get("run")) parseRun(*v, spec);
   if (const auto* v = top.get("sweep")) {
     fail(*v, "\"sweep\" is a scenario-document key; parseScenarioDoc "
@@ -525,6 +593,25 @@ util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
   sim.set("pruning", std::move(pruning));
   root.set("sim", std::move(sim));
 
+  JsonValue federation = JsonValue::makeObject();
+  federation.set("enabled", spec.federationEnabled);
+  federation.set("clusters", spec.fedClusters);
+  federation.set("routing", std::string(fed::toString(spec.fedRouting)));
+  federation.set("dispatch_latency", spec.fedDispatchLatency);
+  // Emitted only when set: an empty shape list means "mirror the base
+  // cluster", and round-tripping an explicit empty array would trip the
+  // shapes-vs-clusters count check.
+  if (!spec.fedClusterShapes.empty()) {
+    JsonValue shapes = JsonValue::makeArray();
+    for (const std::vector<int>& shape : spec.fedClusterShapes) {
+      JsonValue types = JsonValue::makeArray();
+      for (int t : shape) types.append(t);
+      shapes.append(std::move(types));
+    }
+    federation.set("cluster_shapes", std::move(shapes));
+  }
+  root.set("federation", std::move(federation));
+
   JsonValue run = JsonValue::makeObject();
   run.set("trials", spec.trials);
   run.set("jobs", spec.jobs);
@@ -590,6 +677,33 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
           paper->pet(), spec.customMachineTypes);
       bound.model = bound.customModel.get();
       break;
+    }
+  }
+
+  if (spec.federationEnabled) {
+    bound.federated = true;
+    bound.federation.clusters = spec.fedClusters;
+    bound.federation.routing = spec.fedRouting;
+    bound.federation.dispatchLatency = spec.fedDispatchLatency;
+    if (spec.fedClusterShapes.empty()) {
+      // Every cluster mirrors the base cluster — share the one bound model.
+      bound.fedModels.assign(spec.fedClusters, bound.model);
+    } else {
+      for (const std::vector<int>& shape : spec.fedClusterShapes) {
+        for (int t : shape) {
+          if (t >= spec.synthesis.numMachineTypes) {
+            throw ScenarioError(
+                "federation.cluster_shapes: machine type " +
+                std::to_string(t) + " out of range (PET has " +
+                std::to_string(spec.synthesis.numMachineTypes) +
+                " machine types)");
+          }
+        }
+        bound.fedOwned.push_back(
+            std::make_unique<workload::BoundExecutionModel>(paper->pet(),
+                                                            shape));
+        bound.fedModels.push_back(bound.fedOwned.back().get());
+      }
     }
   }
 

@@ -24,6 +24,7 @@
 #include "core/config.h"
 #include "exp/experiment.h"
 #include "exp/scenario.h"
+#include "fed/federation.h"
 #include "util/json.h"
 #include "workload/arrival.h"
 #include "workload/deadline.h"
@@ -87,6 +88,22 @@ struct ScenarioSpec {
   bool pctCacheEnabled = true;
   bool incrementalMappingEnabled = true;
 
+  // --- federation ---
+  /// When enabled, the experiment runs through the federated dispatch
+  /// engine (src/fed/): `fedClusters` clusters behind a gateway routing by
+  /// `fedRouting` with `fedDispatchLatency` delivery delay.  A federation
+  /// of 1 cluster with zero latency reproduces the plain engine
+  /// bit-for-bit (the oracle contract in tests/federation_test.cpp).
+  bool federationEnabled = false;
+  std::size_t fedClusters = 1;
+  fed::RoutingPolicyKind fedRouting = fed::RoutingPolicyKind::RoundRobin;
+  double fedDispatchLatency = 0.0;
+  /// Per-cluster machine shapes (capacity/heterogeneity skew): entry c is
+  /// cluster c's machine → PET-machine-type map, like cluster.machine_types
+  /// but per federation cluster.  Empty = every cluster mirrors the base
+  /// cluster's shape.  When set, must have exactly fedClusters entries.
+  std::vector<std::vector<int>> fedClusterShapes;
+
   // --- run ---
   std::size_t trials = 8;
   std::size_t jobs = 1;
@@ -119,6 +136,14 @@ struct BoundScenario {
   const workload::BoundExecutionModel* model = nullptr;
   /// Fully-populated spec for runExperiment().
   ExperimentSpec experiment;
+
+  /// Federated scenarios (spec.federationEnabled): the gateway shape and
+  /// one bound model per cluster.  `fedModels` point into fedOwned (and/or
+  /// `model` for clusters mirroring the base shape).
+  bool federated = false;
+  fed::FederationSpec federation;
+  std::vector<std::unique_ptr<workload::BoundExecutionModel>> fedOwned;
+  std::vector<const workload::BoundExecutionModel*> fedModels;
 };
 
 /// Key over the fields that determine PaperScenario construction (PET

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "fed/fed_experiment.h"
+
 namespace hcs::exp {
 
 namespace {
@@ -353,7 +355,11 @@ std::vector<SweepOutcome> runSweep(
     BoundScenario bound = bindScenario(point.spec, cached);
     cached = bound.paper;
     SweepOutcome outcome;
-    outcome.result = runExperiment(*bound.model, bound.experiment);
+    outcome.result =
+        bound.federated
+            ? fed::runFederatedExperiment(bound.fedModels, bound.experiment,
+                                          bound.federation)
+            : runExperiment(*bound.model, bound.experiment);
     outcome.point = std::move(point);
     outcomes.push_back(std::move(outcome));
   }

@@ -1,0 +1,41 @@
+#include "fed/fed_experiment.h"
+
+#include <stdexcept>
+
+#include "exp/parallel.h"
+
+namespace hcs::fed {
+
+exp::ExperimentResult runFederatedExperiment(
+    const std::vector<const workload::BoundExecutionModel*>& models,
+    const exp::ExperimentSpec& spec, const FederationSpec& fed) {
+  if (spec.trials == 0) {
+    throw std::invalid_argument(
+        "runFederatedExperiment: need at least one trial");
+  }
+  if (models.empty() || models.size() != fed.clusters) {
+    throw std::invalid_argument(
+        "runFederatedExperiment: one model per cluster required");
+  }
+
+  std::vector<core::TrialResult> outcomes(spec.trials);
+  exp::ParallelExecutor(spec.jobs).run(spec.trials, [&](std::size_t trial) {
+    const std::uint64_t workloadSeed = spec.baseSeed + trial;
+    const workload::Workload wl = workload::Workload::generate(
+        models[0]->matrix(), spec.arrival, spec.deadline, workloadSeed);
+
+    core::SimulationConfig simConfig = spec.sim;
+    simConfig.executionSeed = exp::executionSeedFor(workloadSeed);
+
+    std::vector<const sim::ExecutionModel*> clusterModels(models.begin(),
+                                                          models.end());
+    outcomes[trial] =
+        FederatedSimulation(std::move(clusterModels), wl, simConfig, fed)
+            .run()
+            .total;
+  });
+
+  return exp::aggregateTrialResults(outcomes);
+}
+
+}  // namespace hcs::fed

@@ -1,0 +1,27 @@
+#pragma once
+// Multi-trial federated experiments: the federated counterpart of
+// exp::runExperiment, reporting the identical aggregate statistics so sweep
+// grids can put cluster counts and routing policies on the same axes as
+// heuristics and pruning knobs.
+
+#include <vector>
+
+#include "exp/experiment.h"
+#include "fed/federation.h"
+#include "workload/pet_matrix.h"
+
+namespace hcs::fed {
+
+/// Runs `spec.trials` independent workload trials through a federation of
+/// `models.size()` clusters (== fed.clusters) on `spec.jobs` threads,
+/// aggregating in trial order.  Workloads and per-trial execution seeds are
+/// derived exactly as exp::runExperiment derives them — same spec, same
+/// seeds, same trials — so a 1-cluster federation with zero dispatch latency
+/// reproduces exp::runExperiment bit-for-bit, and federated sweep points
+/// stay paired with non-federated ones.  Deadlines come from models[0]'s
+/// PET matrix (all clusters of a federation share one matrix).
+exp::ExperimentResult runFederatedExperiment(
+    const std::vector<const workload::BoundExecutionModel*>& models,
+    const exp::ExperimentSpec& spec, const FederationSpec& fed);
+
+}  // namespace hcs::fed

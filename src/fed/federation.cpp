@@ -1,0 +1,254 @@
+#include "fed/federation.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace hcs::fed {
+
+std::uint64_t clusterExecutionSeed(std::uint64_t base, std::size_t cluster) {
+  if (cluster == 0) return base;  // the N=1 identity: cluster 0 IS the trial
+  // One splitmix64 scramble per cluster index: well-separated streams from
+  // one trial seed, so adding clusters never perturbs existing ones.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(cluster);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// One cluster's full resource-allocation stack.
+struct Cluster {
+  std::vector<sim::Machine> machines;
+  sim::EventQueue events;
+  sim::Metrics metrics;
+  prob::Rng rng;
+  core::SimulationConfig config;  ///< per-cluster copy (trace sink wrap)
+  std::unique_ptr<core::Scheduler> scheduler;
+  /// Routing-side Eq. 2 machinery (multi-cluster gateways only): a
+  /// persistent context + PCT cache of this cluster, separate from the
+  /// scheduler's own so gateway queries never perturb mapping decisions.
+  std::unique_ptr<heuristics::PctCache> routingCache;
+  std::optional<heuristics::MappingContext> routingCtx;
+  std::size_t inFlight = 0;
+  std::size_t routed = 0;
+  sim::Time lastEvent = 0;
+
+  explicit Cluster(prob::Rng seeded) : rng(std::move(seeded)) {}
+};
+
+}  // namespace
+
+FederatedSimulation::FederatedSimulation(
+    std::vector<const sim::ExecutionModel*> models,
+    const workload::Workload& workload, core::SimulationConfig config,
+    FederationSpec spec)
+    : models_(std::move(models)),
+      workload_(workload),
+      config_(std::move(config)),
+      spec_(std::move(spec)) {
+  if (spec_.clusters == 0) {
+    throw std::invalid_argument("FederatedSimulation: need >= 1 cluster");
+  }
+  if (models_.size() != spec_.clusters) {
+    throw std::invalid_argument(
+        "FederatedSimulation: one execution model per cluster required");
+  }
+  for (const sim::ExecutionModel* model : models_) {
+    if (model == nullptr) {
+      throw std::invalid_argument("FederatedSimulation: null cluster model");
+    }
+    if (model->numTaskTypes() != workload.numTaskTypes()) {
+      throw std::invalid_argument(
+          "FederatedSimulation: workload / model task-type count mismatch");
+    }
+  }
+  if (spec_.dispatchLatency < 0.0) {
+    throw std::invalid_argument(
+        "FederatedSimulation: dispatch latency must be >= 0");
+  }
+}
+
+FederatedTrialResult FederatedSimulation::run() {
+  const double binWidth = models_[0]->pet(0, 0).binWidth();
+  const bool batchMode =
+      core::allocationModeFor(config_) == core::AllocationMode::Batch;
+  const std::size_t n = spec_.clusters;
+  const int numTaskTypes = models_[0]->numTaskTypes();
+
+  // One global task pool: ids are creation-order indices of the arrival
+  // stream, exactly as core::Simulation numbers them.
+  sim::TaskPool pool;
+  std::vector<sim::TaskId> ids;
+  ids.reserve(workload_.size());
+  for (const workload::TaskSpec& spec : workload_.tasks()) {
+    ids.push_back(
+        pool.create(spec.type, spec.arrival, spec.deadline, spec.value));
+  }
+  const std::vector<bool> countedMask =
+      workload_.countedMask(config_.warmupMargin);
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    clusters.emplace_back(
+        prob::Rng(clusterExecutionSeed(config_.executionSeed, c)));
+    Cluster& cl = clusters.back();
+    const sim::ExecutionModel& model = *models_[c];
+    cl.machines.reserve(static_cast<std::size_t>(model.numMachines()));
+    for (int j = 0; j < model.numMachines(); ++j) {
+      cl.machines.emplace_back(j, binWidth, /*trackTail=*/batchMode,
+                               /*lazyTailRebuild=*/config_.pctCacheEnabled);
+    }
+    cl.metrics = sim::Metrics(numTaskTypes);
+    cl.metrics.setCounted(countedMask);
+    cl.config = config_;
+    if (spec_.traceSink) {
+      const auto fedSink = spec_.traceSink;
+      const auto baseSink = config_.traceSink;
+      cl.config.traceSink = [fedSink, baseSink, c](const sim::TraceEvent& e) {
+        fedSink(c, e);
+        if (baseSink) baseSink(e);
+      };
+    }
+    cl.scheduler = std::make_unique<core::Scheduler>(cl.config, numTaskTypes);
+    if (n > 1) {
+      // Gateway-side Eq. 2 / ECT queries (least_ect, max_chance policies).
+      if (config_.pctCacheEnabled) {
+        cl.routingCache = std::make_unique<heuristics::PctCache>();
+      }
+      const std::size_t capacity =
+          batchMode ? config_.machineQueueCapacity
+                    : heuristics::MappingContext::kUnbounded;
+      cl.routingCtx.emplace(sim::Time{0}, pool, cl.machines, model, capacity,
+                            cl.routingCache.get());
+      cl.routingCtx->enablePersistence();
+    }
+  }
+
+  auto worldOf = [&](std::size_t c) -> core::World {
+    Cluster& cl = clusters[c];
+    return core::World{pool,       cl.machines, cl.events,
+                       cl.metrics, cl.rng,      *models_[c]};
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    const core::World world = worldOf(c);
+    clusters[c].scheduler->beginTrial(world);
+  }
+
+  const std::unique_ptr<RoutingPolicy> policy =
+      n > 1 ? makeRoutingPolicy(spec_.routing) : nullptr;
+  if (policy != nullptr) policy->beginTrial();
+  std::vector<ClusterView> views(n);
+
+  // The gateway loop: merge the (time-sorted) arrival stream with every
+  // cluster's event queue.  Arrivals win time ties — they carry lower
+  // sequence numbers than any same-time completion in the single-cluster
+  // engine — and cluster ties break toward the lowest index.
+  const std::vector<workload::TaskSpec>& stream = workload_.tasks();
+  std::size_t cursor = 0;
+  sim::Time now = 0;
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  while (true) {
+    std::size_t nextCluster = kNone;
+    sim::Time nextEventTime = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (clusters[c].events.empty()) continue;
+      const sim::Time t = clusters[c].events.top().time;
+      if (nextCluster == kNone || t < nextEventTime) {
+        nextCluster = c;
+        nextEventTime = t;
+      }
+    }
+    const bool haveArrival = cursor < stream.size();
+    if (!haveArrival && nextCluster == kNone) break;
+
+    if (haveArrival &&
+        (nextCluster == kNone || stream[cursor].arrival <= nextEventTime)) {
+      const sim::TaskId id = ids[cursor];
+      now = stream[cursor].arrival;
+      ++cursor;
+      std::size_t target = 0;
+      if (n > 1) {
+        for (std::size_t c = 0; c < n; ++c) {
+          Cluster& cl = clusters[c];
+          cl.routingCtx->rebind(now);
+          views[c] = ClusterView{&cl.machines,
+                                 cl.scheduler->batchQueueLength(),
+                                 cl.inFlight, &*cl.routingCtx};
+        }
+        target = policy->route(views, pool[id], now);
+        if (target >= n) {
+          throw std::logic_error(
+              "FederatedSimulation: routing policy chose an invalid cluster");
+        }
+      }
+      Cluster& cl = clusters[target];
+      ++cl.routed;
+      if (spec_.dispatchLatency <= 0.0) {
+        cl.lastEvent = now;
+        core::World world = worldOf(target);
+        cl.scheduler->handleArrival(world, id, now);
+      } else {
+        ++cl.inFlight;
+        cl.events.push(now + spec_.dispatchLatency,
+                       sim::EventKind::TaskArrival, id);
+      }
+      continue;
+    }
+
+    Cluster& cl = clusters[nextCluster];
+    const sim::Event event = cl.events.pop();
+    now = event.time;
+    cl.lastEvent = event.time;
+    core::World world = worldOf(nextCluster);
+    if (event.kind == sim::EventKind::TaskArrival) {
+      --cl.inFlight;
+      cl.scheduler->handleArrival(world, event.task, now);
+    } else {
+      cl.scheduler->handleCompletion(world, event.machine, event.task, now);
+    }
+  }
+
+  for (std::size_t c = 0; c < n; ++c) {
+    core::World world = worldOf(c);
+    clusters[c].scheduler->finalize(world, now);
+  }
+
+  FederatedTrialResult result;
+  result.total.metrics = sim::Metrics(numTaskTypes);
+  result.total.makespan = now;
+  result.clusters.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    Cluster& cl = clusters[c];
+    ClusterOutcome outcome;
+    outcome.tasksRouted = cl.routed;
+    outcome.mappingEvents = cl.scheduler->mappingEvents();
+    outcome.lastEvent = cl.lastEvent;
+    outcome.fairnessScores = cl.scheduler->pruner().fairness().scores();
+    outcome.machineUtilization.reserve(cl.machines.size());
+    for (const sim::Machine& m : cl.machines) {
+      outcome.machineUtilization.push_back(now > 0 ? m.busyTime() / now : 0.0);
+    }
+    result.total.metrics.merge(cl.metrics);
+    result.total.mappingEvents += outcome.mappingEvents;
+    result.total.mappingEngineSeconds +=
+        static_cast<double>(cl.scheduler->mappingEngineNanos()) * 1e-9;
+    result.total.machineUtilization.insert(
+        result.total.machineUtilization.end(),
+        outcome.machineUtilization.begin(), outcome.machineUtilization.end());
+    outcome.metrics = std::move(cl.metrics);
+    result.clusters.push_back(std::move(outcome));
+  }
+  result.total.robustnessPercent = result.total.metrics.robustnessPercent();
+  // Fairness scores are per-cluster state (each pruner adapts to its own
+  // share of the stream); the aggregate carries cluster 0's only in the
+  // degenerate single-cluster federation, where it IS the trial's.
+  if (n == 1) {
+    result.total.fairnessScores = result.clusters[0].fairnessScores;
+  }
+  return result;
+}
+
+}  // namespace hcs::fed

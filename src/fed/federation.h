@@ -1,0 +1,103 @@
+#pragma once
+// The federated dispatch engine: N independent clusters behind a gateway.
+//
+// Real serverless platforms shard load across many clusters; this tier
+// reproduces that shape on top of the single-cluster engine without touching
+// it.  A FederatedSimulation owns one full resource-allocation stack per
+// cluster — Scheduler (heuristic + pruner + PCT cache), EventQueue, machines,
+// metrics, and a *split per-cluster RNG stream* — plus a gateway that walks
+// the global arrival stream in time order and routes every task by a
+// pluggable RoutingPolicy.  Routed tasks reach their cluster immediately or
+// after a configurable inter-cluster dispatch latency.
+//
+// Reproducibility contracts:
+//  - Cluster 0 keeps the trial's base execution-RNG stream and clusters run
+//    their events in deterministic (time, cluster, seq) order, so a
+//    federation of ONE cluster with ZERO dispatch latency is byte-identical
+//    — trace-for-trace — to core::Simulation (the oracle the federation
+//    tests pin down).
+//  - Cluster c > 0 derives its stream from the same seed via a splitmix64
+//    step, so paired-seed sweeps (same run.seed, different cluster counts or
+//    routing policies) stay paired.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "fed/routing.h"
+#include "heuristics/context.h"
+#include "heuristics/pct_cache.h"
+#include "prob/rng.h"
+#include "sim/event_queue.h"
+#include "sim/machine.h"
+#include "sim/metrics.h"
+#include "sim/task.h"
+#include "sim/trace.h"
+#include "workload/workload.h"
+
+namespace hcs::fed {
+
+/// Shape of a federation, independent of the per-cluster simulation config.
+struct FederationSpec {
+  std::size_t clusters = 1;
+  RoutingPolicyKind routing = RoutingPolicyKind::RoundRobin;
+  /// Gateway-to-cluster delivery delay (time units).  0 = a routed task
+  /// arrives at its cluster at its global arrival time, exactly as the
+  /// single-cluster engine sees it.
+  double dispatchLatency = 0.0;
+  /// Optional sink receiving every task lifecycle transition together with
+  /// the cluster it happened on.
+  std::function<void(std::size_t cluster, const sim::TraceEvent&)> traceSink;
+};
+
+/// Execution-RNG seed of cluster `cluster`, split from the trial seed.
+/// Cluster 0 keeps the base stream (the N=1 identity); higher clusters get
+/// independent splitmix64-derived streams from the same seed.
+std::uint64_t clusterExecutionSeed(std::uint64_t base, std::size_t cluster);
+
+/// One cluster's share of a federated trial.
+struct ClusterOutcome {
+  sim::Metrics metrics;
+  std::size_t tasksRouted = 0;
+  std::size_t mappingEvents = 0;
+  /// Time of the last event processed on this cluster (0 if none).
+  sim::Time lastEvent = 0;
+  std::vector<double> machineUtilization;
+  std::vector<double> fairnessScores;
+};
+
+/// Everything a federated trial produces: the aggregate (cross-cluster)
+/// trial result plus the per-cluster breakdown.
+struct FederatedTrialResult {
+  /// Aggregate result in the single-cluster shape — metrics merged across
+  /// clusters, utilizations concatenated cluster-major — so the experiment
+  /// layer aggregates federated and plain trials with the same code.
+  core::TrialResult total;
+  std::vector<ClusterOutcome> clusters;
+};
+
+/// Runs one workload trial through the federation.  Deterministic: the same
+/// models, workload, config, and spec always produce the same result.
+class FederatedSimulation {
+ public:
+  /// `models` (one per cluster, all sharing the workload's task-type count
+  /// and PET bin width) must outlive run().
+  FederatedSimulation(std::vector<const sim::ExecutionModel*> models,
+                      const workload::Workload& workload,
+                      core::SimulationConfig config, FederationSpec spec);
+
+  FederatedTrialResult run();
+
+ private:
+  std::vector<const sim::ExecutionModel*> models_;
+  const workload::Workload& workload_;
+  core::SimulationConfig config_;
+  FederationSpec spec_;
+};
+
+}  // namespace hcs::fed

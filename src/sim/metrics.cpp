@@ -48,6 +48,28 @@ void Metrics::recordTerminal(const Task& task) {
   }
 }
 
+void Metrics::merge(const Metrics& other) {
+  if (perType_.size() < other.perType_.size()) {
+    perType_.resize(other.perType_.size());
+  }
+  for (std::size_t k = 0; k < other.perType_.size(); ++k) {
+    perType_[k].completedOnTime += other.perType_[k].completedOnTime;
+    perType_[k].completedLate += other.perType_[k].completedLate;
+    perType_[k].droppedReactive += other.perType_[k].droppedReactive;
+    perType_[k].droppedProactive += other.perType_[k].droppedProactive;
+  }
+  totals_.completedOnTime += other.totals_.completedOnTime;
+  totals_.completedLate += other.totals_.completedLate;
+  totals_.droppedReactive += other.totals_.droppedReactive;
+  totals_.droppedProactive += other.totals_.droppedProactive;
+  countedTotal_ += other.countedTotal_;
+  deferrals_ += other.deferrals_;
+  countedValue_ += other.countedValue_;
+  onTimeValue_ += other.onTimeValue_;
+  perMachine_.insert(perMachine_.end(), other.perMachine_.begin(),
+                     other.perMachine_.end());
+}
+
 double Metrics::robustnessPercent() const {
   if (countedTotal_ == 0) return 0.0;
   return 100.0 * static_cast<double>(totals_.completedOnTime) /

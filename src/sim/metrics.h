@@ -48,6 +48,13 @@ class Metrics {
   /// Marks task ids excluded from robustness (warm-up / cool-down trimming).
   void setCounted(std::vector<bool> counted) { counted_ = std::move(counted); }
 
+  /// Folds another trial-section's counters into this one — the federation
+  /// tier aggregates per-cluster metrics into a trial total with it.  The
+  /// per-machine execution splits are concatenated (machine ids are local to
+  /// a cluster), everything else is summed.  The counted mask is a recording
+  /// concern and is left untouched.
+  void merge(const Metrics& other);
+
   std::size_t completedOnTime() const { return totals_.completedOnTime; }
   std::size_t completedLate() const { return totals_.completedLate; }
   std::size_t droppedReactive() const { return totals_.droppedReactive; }

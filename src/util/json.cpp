@@ -320,6 +320,13 @@ class Parser {
     if (!std::isdigit(static_cast<unsigned char>(peek()))) {
       fail("malformed number");
     }
+    // JSON forbids leading zeros ("01"): a 0 integer part stands alone.
+    if (peek() == '0') {
+      take();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("malformed number: leading zero");
+      }
+    }
     while (std::isdigit(static_cast<unsigned char>(peek()))) take();
     if (peek() == '.') {
       take();

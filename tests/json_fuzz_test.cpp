@@ -1,0 +1,227 @@
+// Fuzz-style robustness tests for util/json: randomized value trees must
+// survive write -> parse -> compare structurally equal (the canonical-form
+// contract), and a malformed-input corpus — truncations, bad escapes, deep
+// nesting, huge numbers, stray syntax — must be rejected with line-numbered
+// JsonError messages and never crash (the ASan CI leg runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using hcs::util::JsonError;
+using hcs::util::JsonValue;
+using hcs::util::parseJson;
+using hcs::util::writeJson;
+
+// --- Random tree generation --------------------------------------------------
+
+class TreeGen {
+ public:
+  explicit TreeGen(std::uint64_t seed) : rng_(seed) {}
+
+  JsonValue value(int depth) {
+    // Leaves only beyond the depth bound; containers get likelier near the
+    // root so trees are bushy but bounded.
+    const int roll = depth >= 5 ? static_cast<int>(rng_() % 4)
+                                : static_cast<int>(rng_() % 6);
+    switch (roll) {
+      case 0: return JsonValue();                      // null
+      case 1: return JsonValue(rng_() % 2 == 0);       // bool
+      case 2: return JsonValue(number());
+      case 3: return JsonValue(string());
+      case 4: {
+        JsonValue array = JsonValue::makeArray();
+        const std::size_t n = rng_() % 5;
+        for (std::size_t i = 0; i < n; ++i) array.append(value(depth + 1));
+        return array;
+      }
+      default: {
+        JsonValue object = JsonValue::makeObject();
+        const std::size_t n = rng_() % 5;
+        for (std::size_t i = 0; i < n; ++i) {
+          // Unique keys: the parser rejects duplicates by design.
+          object.set(string() + "#" + std::to_string(i), value(depth + 1));
+        }
+        return object;
+      }
+    }
+  }
+
+  double number() {
+    switch (rng_() % 5) {
+      case 0:  // small integers (the common scenario-file case)
+        return static_cast<double>(static_cast<std::int64_t>(rng_() % 2001) -
+                                   1000);
+      case 1:  // the full exactly-representable integer range
+        return static_cast<double>(
+                   static_cast<std::int64_t>(rng_() % (1ull << 53))) *
+               (rng_() % 2 == 0 ? 1.0 : -1.0);
+      case 2:  // uniform fractions
+        return std::uniform_real_distribution<double>(-1.0, 1.0)(rng_);
+      case 3: {  // wide-exponent doubles (shortest-form stress)
+        const int exp2 = static_cast<int>(rng_() % 600) - 300;
+        const double mantissa =
+            std::uniform_real_distribution<double>(1.0, 2.0)(rng_);
+        const double v = std::ldexp(mantissa, exp2);
+        return std::isfinite(v) ? v : 0.0;
+      }
+      default:
+        return 0.0 * (rng_() % 2 == 0 ? 1.0 : -1.0);  // ±0
+    }
+  }
+
+  std::string string() {
+    static const char* kAtoms[] = {
+        "a",  "key", "läuft", "路径", "\t",   "\n",     "\"q\"",
+        "\\", "/",   " ",     "\x01", "\x1f", "héllo…", "e"};
+    std::string out;
+    const std::size_t n = rng_() % 4;
+    for (std::size_t i = 0; i < n; ++i) {
+      out += kAtoms[rng_() % (sizeof kAtoms / sizeof kAtoms[0])];
+    }
+    return out;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, RandomTreesRoundTripStructurally) {
+  TreeGen gen(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const JsonValue tree = gen.value(0);
+    const std::string text = writeJson(tree);
+    JsonValue parsed;
+    ASSERT_NO_THROW(parsed = parseJson(text)) << text;
+    ASSERT_EQ(parsed, tree) << text;
+    // Canonical stability: one more write must reproduce the bytes.
+    ASSERT_EQ(writeJson(parsed), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu));
+
+// --- Malformed corpus --------------------------------------------------------
+
+void expectLineNumberedRejection(const std::string& text) {
+  try {
+    (void)parseJson(text);
+    FAIL() << "accepted malformed input: " << text;
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+        << "error lacks a line number: " << e.what();
+  }
+  // origin-prefixed errors keep the line number too
+  try {
+    (void)parseJson(text, "corpus.json");
+    FAIL() << "accepted malformed input: " << text;
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("corpus.json:line "),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonMalformedTest, EveryTruncationOfAValidDocumentIsRejected) {
+  const std::string text = writeJson(parseJson(
+      R"({"a": [1, 2.5, null], "b": {"c": "x\n\"y\"", "d": [true, false]},
+          "e": -1.25e-3})"));
+  // writeJson ends with exactly one '\n' after the closing brace; every
+  // prefix that cuts real syntax must throw (never crash, never accept).
+  ASSERT_EQ(text.back(), '\n');
+  for (std::size_t len = 0; len + 2 <= text.size(); ++len) {
+    expectLineNumberedRejection(text.substr(0, len));
+  }
+  // …while dropping only the trailing newline still parses.
+  EXPECT_NO_THROW(parseJson(text.substr(0, text.size() - 1)));
+}
+
+TEST(JsonMalformedTest, BadEscapesAreRejected) {
+  for (const char* text : {
+           R"("\x")",        // unknown escape
+           R"("\u12")",      // short \u
+           R"("\u12G4")",    // non-hex digit
+           R"("\uD834")",    // surrogate
+           R"("\)",          // lone backslash at EOF
+           "\"\x01\"",       // raw control character
+           "\"unterminated", // EOF inside string
+       }) {
+    expectLineNumberedRejection(text);
+  }
+}
+
+TEST(JsonMalformedTest, DeepNestingIsRejectedNotOverflowed) {
+  // Far past the 200-level bound: must throw a clean error, not smash the
+  // stack (this is the case the recursion bound exists for).
+  const std::string arrays(10000, '[');
+  try {
+    (void)parseJson(arrays);
+    FAIL() << "accepted 10000-deep nesting";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos)
+        << e.what();
+  }
+  std::string objects;
+  for (int i = 0; i < 5000; ++i) objects += "{\"k\":";
+  expectLineNumberedRejection(objects);
+
+  // Just below the bound parses fine (and round-trips).
+  std::string ok(150, '[');
+  ok += "1";
+  ok += std::string(150, ']');
+  JsonValue v;
+  ASSERT_NO_THROW(v = parseJson(ok));
+  EXPECT_EQ(parseJson(writeJson(v)), v);
+}
+
+TEST(JsonMalformedTest, HugeNumbersAreRejectedUnderflowIsZero) {
+  expectLineNumberedRejection("1e999");
+  expectLineNumberedRejection("-1e999");
+  expectLineNumberedRejection("123456789e999999999999");
+  // Underflow is representable (rounds to ±0) and must be accepted.
+  EXPECT_EQ(parseJson("1e-999").asNumber(), 0.0);
+  // The largest finite double survives a round-trip.
+  const std::string max = "1.7976931348623157e308";
+  EXPECT_TRUE(std::isfinite(parseJson(max).asNumber()));
+}
+
+TEST(JsonMalformedTest, StraySyntaxCorpus) {
+  for (const char* text : {
+           "",           "tru",        "nul",      "falsee",  "01",
+           "1.",         ".5",         "+1",       "--1",     "1e",
+           "1e+",        "[1,]",       "[,1]",     "[1 2]",   "[1,2",
+           "{,}",        "{\"a\" 1}",  "{a: 1}",   "{\"a\":}", "{\"a\":1,}",
+           "1 x",        "[] []",      "{\"a\":1,\"a\":2}",
+       }) {
+    expectLineNumberedRejection(text);
+  }
+}
+
+TEST(JsonMalformedTest, ErrorsNameTheOffendingLine) {
+  const std::string doc =
+      "{\n"            // line 1
+      "  \"a\": 1,\n"  // line 2
+      "  \"b\": 2,\n"  // line 3
+      "  \"c\": ?\n"   // line 4 <- error
+      "}\n";
+  try {
+    (void)parseJson(doc);
+    FAIL();
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace

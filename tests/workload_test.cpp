@@ -423,6 +423,103 @@ TEST(TraceIoTest, V2RowMissingValueIsRejected) {
   EXPECT_THROW(hcs::workload::loadWorkload(in), std::runtime_error);
 }
 
+TEST(TraceIoTest, V1RoundTripsThroughSaveAsV2) {
+  // A legacy v1 trace loads (values default to 1.0) and re-saves as v2,
+  // which then round-trips exactly.
+  std::stringstream in(
+      "hcs-workload v1 3\n"
+      "0 1.5 20.5\n"
+      "2 2.5 30\n"
+      "1 4 8.25\n");
+  const Workload v1 = hcs::workload::loadWorkload(in);
+  std::stringstream buffer;
+  hcs::workload::saveWorkload(v1, buffer);
+  EXPECT_NE(buffer.str().find("hcs-workload v2 3"), std::string::npos);
+  const Workload again = hcs::workload::loadWorkload(buffer);
+  ASSERT_EQ(again.size(), v1.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    EXPECT_EQ(again.tasks()[i].type, v1.tasks()[i].type);
+    EXPECT_DOUBLE_EQ(again.tasks()[i].arrival, v1.tasks()[i].arrival);
+    EXPECT_DOUBLE_EQ(again.tasks()[i].deadline, v1.tasks()[i].deadline);
+    EXPECT_DOUBLE_EQ(again.tasks()[i].value, 1.0);
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesAreSkippedInBothVersions) {
+  for (const char* header : {"hcs-workload v1 2", "hcs-workload v2 2"}) {
+    const bool v2 = std::string(header).find("v2") != std::string::npos;
+    std::stringstream in(std::string(header) +
+                         "\n"
+                         "# a comment\n"
+                         "\n" +
+                         (v2 ? "0 1.0 10.0 1.0\n" : "0 1.0 10.0\n") +
+                         "# trailing comment\n");
+    const Workload wl = hcs::workload::loadWorkload(in);
+    EXPECT_EQ(wl.size(), 1u) << header;
+  }
+}
+
+/// Expects loadWorkload to throw mentioning the (1-based) offending line.
+void expectRejectedAtLine(const std::string& text, const char* lineRef) {
+  std::stringstream in(text);
+  try {
+    (void)hcs::workload::loadWorkload(in);
+    FAIL() << "accepted malformed trace:\n" << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(lineRef), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIoTest, MalformedLinesAreRejectedWithLineNumbers) {
+  // v1: non-numeric fields, wherever they appear.
+  expectRejectedAtLine("hcs-workload v1 2\n0 1.0 10.0\nx 2.0 20.0\n",
+                       "line 3");
+  expectRejectedAtLine("hcs-workload v1 2\n0 oops 10.0\n", "line 2");
+  // v1: too few columns.
+  expectRejectedAtLine("hcs-workload v1 2\n0 1.0\n", "line 2");
+  // v2: value column malformed.
+  expectRejectedAtLine("hcs-workload v2 2\n0 1.0 10.0 cheap\n", "line 2");
+  // v2: truncated mid-row after a valid row.
+  expectRejectedAtLine("hcs-workload v2 1\n0 1.0 10.0 1.0\n0 2.0\n",
+                       "line 3");
+}
+
+TEST(TraceIoTest, HeaderVariantsAreRejected) {
+  for (const char* header : {
+           "hcs-workload v3 2",   // unknown version
+           "hcs-workload v1 0",   // no task types
+           "hcs-workload v1 -2",  // negative task types
+           "hcs-workload v1",     // missing count
+           "hcs-workload",        // missing version
+           "v1 2",                // missing magic
+       }) {
+    std::stringstream in(std::string(header) + "\n0 1.0 10.0\n");
+    EXPECT_THROW(hcs::workload::loadWorkload(in), std::runtime_error)
+        << header;
+  }
+}
+
+TEST(TraceIoTest, LoadedRowsStillPassWorkloadValidation) {
+  // trace_io delegates semantic validation to the Workload constructor:
+  // out-of-range task types and unsorted arrivals must still throw.
+  std::stringstream badType("hcs-workload v1 2\n5 1.0 10.0\n");
+  EXPECT_THROW(hcs::workload::loadWorkload(badType), std::invalid_argument);
+  std::stringstream unsorted(
+      "hcs-workload v1 1\n0 5.0 10.0\n0 1.0 10.0\n");
+  EXPECT_THROW(hcs::workload::loadWorkload(unsorted), std::invalid_argument);
+}
+
+TEST(TraceIoTest, FileOpenErrorsAreReported) {
+  EXPECT_THROW(
+      hcs::workload::loadWorkloadFile("/nonexistent/dir/trace.txt"),
+      std::runtime_error);
+  const Workload wl({hcs::workload::TaskSpec{0, 1.0, 2.0}}, 1);
+  EXPECT_THROW(
+      hcs::workload::saveWorkloadFile(wl, "/nonexistent/dir/trace.txt"),
+      std::runtime_error);
+}
+
 TEST(WorkloadTest, RejectsNonPositiveValues) {
   using hcs::workload::TaskSpec;
   EXPECT_THROW(Workload({TaskSpec{0, 0.0, 5.0, 0.0}}, 1),

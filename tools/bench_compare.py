@@ -37,6 +37,12 @@ TRACKED = {
         "speedup_512": "higher",
         "engine_us_512_incremental": "lower",
     },
+    # Gateway overhead sits at ~0% and flips sign with container weather, so
+    # the tracked set sticks to the per-task routing costs.
+    "BENCH_federation.json": {
+        "n4_round_robin_us_per_task": "lower",
+        "n4_max_chance_us_per_task": "lower",
+    },
 }
 
 
