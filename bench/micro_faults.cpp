@@ -1,0 +1,195 @@
+// Micro-benchmark for the fault-injection layer: what churn costs on top of
+// the fault-free engine, and that an armed-but-silent fault config costs
+// nothing at all.
+//
+// After the google-benchmark suites, main() verifies the layer's keystone
+// contract — a fault-enabled config with zero failure rate and no scripted
+// events reproduces the plain engine exactly — then times a fault-free trial
+// against an MTBF-driven churn trial on an oversubscribed stream, writing
+// the comparison to BENCH_faults.json.  Exits nonzero if the zero-fault
+// config ever diverges from the plain engine.  HCS_FAULT_REPS overrides the
+// best-of repetition count (default 3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "bench_util.h"
+#include "core/simulation.h"
+#include "exp/experiment.h"
+#include "exp/scenario.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace hcs;
+
+const exp::PaperScenario& scenario() {
+  static exp::PaperScenario s;  // the paper's 12-type x 8-machine cluster
+  return s;
+}
+
+workload::Workload oversubscribedWorkload(std::uint64_t seed) {
+  return workload::Workload::generate(
+      *scenario().pet(),
+      scenario().arrivalSpec(exp::PaperScenario::kRate25k,
+                             workload::ArrivalPattern::Spiky),
+      {}, seed);
+}
+
+core::SimulationConfig baseConfig() {
+  core::SimulationConfig config;
+  config.heuristic = "MM";
+  config.warmupMargin = 0;
+  config.faultSeed = exp::faultSeedFor(7);
+  return config;
+}
+
+/// Fault-enabled but inert: the zero-fault identity case.
+core::SimulationConfig zeroFaultConfig() {
+  core::SimulationConfig config = baseConfig();
+  config.faults.enabled = true;
+  config.faults.mtbf = 0.0;
+  config.faults.mttr = 0.0;
+  return config;
+}
+
+/// Active churn: every machine fails a handful of times per trial.
+core::SimulationConfig churnConfig() {
+  core::SimulationConfig config = baseConfig();
+  config.faults.enabled = true;
+  config.faults.mtbf = 60.0;
+  config.faults.mttr = 8.0;
+  return config;
+}
+
+void BM_FaultFree(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = baseConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_ZeroFaultArmed(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = zeroFaultConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_Churn(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = churnConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+BENCHMARK(BM_FaultFree);
+BENCHMARK(BM_ZeroFaultArmed);
+BENCHMARK(BM_Churn);
+
+double bestOfUs(int reps, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double us = run();
+    if (r == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+double timeTrialUs(int reps, const workload::Workload& wl,
+                   const core::SimulationConfig& config) {
+  return bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+}
+
+int runFaultsComparison() {
+  const char* repsEnv = std::getenv("HCS_FAULT_REPS");
+  const int reps = repsEnv != nullptr ? std::max(1, std::atoi(repsEnv)) : 3;
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const double tasks = static_cast<double>(wl.size());
+
+  hcs::bench::JsonWriter json;
+  json.field("bench", "faults").field("heuristic", "MM");
+  json.field("tasks", static_cast<std::uint64_t>(wl.size()));
+
+  // Keystone check: fault machinery armed with nothing to inject must
+  // reproduce the plain engine exactly (the full trace-level oracle lives
+  // in tests/faults_test.cpp; here the digest guards the bench numbers).
+  const core::TrialResult plain =
+      core::Simulation(scenario().hetero(), wl, baseConfig()).run();
+  const core::TrialResult armed =
+      core::Simulation(scenario().hetero(), wl, zeroFaultConfig()).run();
+  bool diverged = false;
+  if (armed.robustnessPercent != plain.robustnessPercent ||
+      armed.mappingEvents != plain.mappingEvents ||
+      armed.makespan != plain.makespan) {
+    std::fprintf(stderr,
+                 "micro_faults: zero-fault armed config DIVERGED from the "
+                 "plain engine\n");
+    diverged = true;
+  }
+
+  const double plainUs = timeTrialUs(reps, wl, baseConfig());
+  const double armedUs = timeTrialUs(reps, wl, zeroFaultConfig());
+  const core::TrialResult churned =
+      core::Simulation(scenario().hetero(), wl, churnConfig()).run();
+  const double churnUs = timeTrialUs(reps, wl, churnConfig());
+  const double ratio = plainUs > 0.0 ? churnUs / plainUs : 0.0;
+
+  std::printf("\nfaults comparison (MM, 25k-equivalent stream, best of "
+              "%d):\n", reps);
+  std::printf("  fault-free:      %8.0f us/trial\n", plainUs);
+  std::printf("  zero-fault armed:%8.0f us/trial (%+.1f%%)\n", armedUs,
+              plainUs > 0.0 ? 100.0 * (armedUs - plainUs) / plainUs : 0.0);
+  std::printf(
+      "  churn mtbf=60 mttr=8: %8.0f us/trial (%.2fx, %.3f us/task), "
+      "robustness %.1f%%, %llu failures, %llu retries, %llu abandoned\n",
+      churnUs, ratio, churnUs / tasks, churned.robustnessPercent,
+      static_cast<unsigned long long>(churned.metrics.machineFailures()),
+      static_cast<unsigned long long>(churned.metrics.retries()),
+      static_cast<unsigned long long>(churned.metrics.abandoned()));
+
+  json.field("faultfree_trial_us", plainUs);
+  json.field("zero_fault_armed_trial_us", armedUs);
+  json.field("churn_trial_us", churnUs);
+  json.field("churn_overhead_ratio", ratio);
+  json.field("churn_us_per_task", churnUs / tasks);
+  json.field("churn_robustness", churned.robustnessPercent);
+  json.field("churn_machine_failures",
+             static_cast<std::uint64_t>(churned.metrics.machineFailures()));
+  json.field("churn_retries",
+             static_cast<std::uint64_t>(churned.metrics.retries()));
+  json.field("churn_abandoned",
+             static_cast<std::uint64_t>(churned.metrics.abandoned()));
+
+  json.write("BENCH_faults.json");
+  return diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runFaultsComparison();
+}

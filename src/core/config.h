@@ -10,6 +10,7 @@
 
 #include "heuristics/registry.h"
 #include "pruning/config.h"
+#include "sim/faults.h"
 #include "sim/trace.h"
 
 namespace hcs::core {
@@ -73,6 +74,24 @@ struct SimulationConfig {
 
   /// Seed for sampling actual execution times.
   std::uint64_t executionSeed = 0x5eed;
+
+  /// Machine churn + retry policy (sim/faults.h).  Inactive configs — the
+  /// default — leave the engine byte-identical to the fault-free build.
+  sim::FaultConfig faults;
+
+  /// Seed of the dedicated fault RNG stream (failure/repair draws, retry
+  /// jitter).  Independent of executionSeed so fault-enabled runs stay
+  /// seed-paired with their fault-free twins; exp::faultSeedFor derives it
+  /// per trial.
+  std::uint64_t faultSeed = 0xfa017;
+
+  /// Where a failed task's retry re-enters the system.  Unset (the
+  /// single-cluster default), the scheduler pushes a TaskArrival event at
+  /// the retry time into its own event queue.  The federation gateway
+  /// installs a hook so retries come back to the GATEWAY instead — they
+  /// are re-routed and re-admitted against the whole federation, not
+  /// pinned to the cluster that failed them.
+  std::function<void(sim::TaskId, sim::Time)> retryHook;
 
   /// First/last arrivals excluded from robustness (§V-B uses 100).
   std::size_t warmupMargin = 100;

@@ -124,17 +124,22 @@ void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
   // Immediate mode: the pruning passes still run at this mapping event,
   // then the mapper must place the arriving task right away.
   mappingEvent(world, now);
+  sim::MachineId machine;
   if (ctx_.has_value()) {
-    const sim::MachineId machine = immediate_->selectMachine(*ctx_, task);
-    if (machine < 0 || machine >= ctx_->numMachines()) {
-      throw std::logic_error("Scheduler: heuristic chose an invalid machine");
-    }
-    dispatch(world, task, machine, now);
+    machine = immediate_->selectMachine(*ctx_, task);
+  } else {
+    const heuristics::MappingContext ctx = makeContext(world, now);
+    machine = immediate_->selectMachine(ctx, task);
+  }
+  if (machine == sim::kInvalidMachine && config_.faults.enabled) {
+    // Churn left no online machine to place on: a placement failure,
+    // routed through the retry policy like any other churn casualty.
+    emit(now, sim::TraceEventKind::TaskFailed, task);
+    retryOrAbandon(world, task, now);
     return;
   }
-  const heuristics::MappingContext ctx = makeContext(world, now);
-  const sim::MachineId machine = immediate_->selectMachine(ctx, task);
-  if (machine < 0 || machine >= ctx.numMachines()) {
+  if (machine < 0 ||
+      machine >= static_cast<sim::MachineId>(world.machines.size())) {
     throw std::logic_error("Scheduler: heuristic chose an invalid machine");
   }
   dispatch(world, task, machine, now);
@@ -164,6 +169,47 @@ void Scheduler::handleCompletion(World& world, sim::MachineId machine,
   // passes must see (and may drop) the queue's head first; idle machines
   // start their surviving head task at the end of the event.
   m.finishRunning(now, world.pool, world.model);
+  mappingEvent(world, now);
+}
+
+void Scheduler::handleMachineFailure(World& world, sim::MachineId machine,
+                                     sim::Time now) {
+  if (!trialPrepared_) beginTrial(world);
+  sim::Machine& m = world.machines[static_cast<std::size_t>(machine)];
+  world.metrics.recordMachineFailure();
+  emit(now, sim::TraceEventKind::MachineFailed, sim::kInvalidTask, machine);
+  if (m.busy()) {
+    // The running task dies with the machine: cancel its pending
+    // completion, charge the burned time as wasted execution, and hand the
+    // task to the retry policy.
+    const sim::TaskId running = m.runningTask();
+    world.events.cancel(completionSeq_[static_cast<std::size_t>(machine)]);
+    const sim::Time started = world.pool[running].startTime;
+    m.abortRunning(now, world.pool, world.model);
+    world.metrics.recordExecution(machine, now - started, /*useful=*/false);
+    emit(now, sim::TraceEventKind::TaskFailed, running, machine);
+    retryOrAbandon(world, running, now);
+  }
+  orphanScratch_.clear();
+  m.goOffline(now, world.pool, world.model, orphanScratch_);
+  for (sim::TaskId id : orphanScratch_) {
+    emit(now, sim::TraceEventKind::TaskFailed, id, machine);
+    retryOrAbandon(world, id, now);
+  }
+  // The machine-set edit is a mapping event: the Eq. 1/Eq. 2 machinery
+  // re-prices the batch queue against the surviving cluster, and the
+  // pruning passes see the scarcer capacity immediately.
+  mappingEvent(world, now);
+}
+
+void Scheduler::handleMachineRecovery(World& world, sim::MachineId machine,
+                                      sim::Time now) {
+  if (!trialPrepared_) beginTrial(world);
+  world.machines[static_cast<std::size_t>(machine)].comeOnline(
+      now, world.pool, world.model);
+  emit(now, sim::TraceEventKind::MachineRecovered, sim::kInvalidTask, machine);
+  // Recovered capacity is claimable this very event: batch mode remaps and
+  // the idle machine can start the surviving head of whatever it is given.
   mappingEvent(world, now);
 }
 
@@ -205,6 +251,7 @@ void Scheduler::mappingEvent(World& world, sim::Time now) {
 
 void Scheduler::startIdleMachines(World& world, sim::Time now) {
   for (sim::Machine& m : world.machines) {
+    if (!m.online()) continue;
     const sim::TaskId started =
         m.startNextIfIdle(now, world.pool, world.model);
     if (started != sim::kInvalidTask) {
@@ -220,20 +267,69 @@ void Scheduler::dropTask(World& world, sim::TaskId task, sim::Time now,
   t.status = reason;
   t.finishTime = now;
   world.metrics.recordTerminal(t);
-  emit(now,
-       reason == sim::TaskStatus::DroppedReactive
-           ? sim::TraceEventKind::DroppedReactive
-           : sim::TraceEventKind::DroppedProactive,
-       task, t.machine);
-  if (reason == sim::TaskStatus::DroppedReactive) {
-    accounting_.recordDeadlineMiss(t.type);
-  } else {
+  sim::TraceEventKind kind;
+  switch (reason) {
+    case sim::TaskStatus::DroppedReactive:
+      kind = sim::TraceEventKind::DroppedReactive;
+      break;
+    case sim::TaskStatus::DroppedProactive:
+      kind = sim::TraceEventKind::DroppedProactive;
+      break;
+    case sim::TaskStatus::Abandoned:
+      kind = sim::TraceEventKind::Abandoned;
+      break;
+    default:
+      throw std::logic_error("dropTask: not a drop status");
+  }
+  emit(now, kind, task, t.machine);
+  if (reason == sim::TaskStatus::DroppedProactive) {
     accounting_.recordProactiveDrop(t.type);
     // Fig. 5 step 6: gamma_k <- gamma_k + c on a *proactive* drop.  (§IV-D's
     // prose could be read as counting reactive drops too; the ablation bench
     // shows that variant grants suffering types such lax bars that they
     // occupy machines with hopeless work — we follow the pseudo-code.)
     pruner_.recordDrop(t.type);
+  } else {
+    // Reactive drops and retry-policy abandonments both read to the
+    // fairness ledger as deadline misses: the task's deadline was (or was
+    // about to be) missed through no choice of the pruner's.
+    accounting_.recordDeadlineMiss(t.type);
+  }
+}
+
+void Scheduler::retryOrAbandon(World& world, sim::TaskId task, sim::Time now) {
+  sim::Task& t = world.pool[task];
+  t.machine = sim::kInvalidMachine;
+  t.status = sim::TaskStatus::Created;
+  ++t.failures;
+  const sim::FaultConfig& f = config_.faults;
+  if (t.failures >= f.maxAttempts) {
+    dropTask(world, task, now, sim::TaskStatus::Abandoned);
+    return;
+  }
+  // Exponential backoff on the attempt index, stretched by a jitter draw
+  // from the fault stream (never the execution stream — the draw must not
+  // perturb seed-paired execution sampling).
+  double backoff = f.backoffBase *
+                   std::pow(f.backoffFactor, static_cast<double>(t.failures - 1));
+  if (f.backoffJitter > 0.0 && world.faultRng != nullptr) {
+    backoff *= 1.0 + f.backoffJitter * world.faultRng->uniform01();
+  }
+  const sim::Time retryAt = now + backoff;
+  if (retryAt > t.deadline) {
+    // Deadline-aware give-up: the retry could never arrive in time.
+    dropTask(world, task, now, sim::TaskStatus::Abandoned);
+    return;
+  }
+  world.metrics.recordRetry();
+  emit(now, sim::TraceEventKind::Retried, task);
+  if (config_.retryHook) {
+    // Federation: the retry re-enters at the GATEWAY — re-routed and
+    // re-admitted against the whole federation, not pinned to the cluster
+    // that failed it.
+    config_.retryHook(task, retryAt);
+  } else {
+    world.events.push(retryAt, sim::EventKind::TaskArrival, task);
   }
 }
 
@@ -417,6 +513,7 @@ double Scheduler::deferChance(World& world,
 bool Scheduler::anyFreeSlot(const World& world) const {
   const std::size_t capacity = config_.machineQueueCapacity;
   for (const sim::Machine& m : world.machines) {
+    if (!m.online()) continue;
     if (m.queueLength() + (m.busy() ? 1u : 0u) < capacity) return true;
   }
   return false;

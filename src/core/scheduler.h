@@ -48,6 +48,10 @@ struct World {
   sim::Metrics& metrics;
   prob::Rng& execRng;
   const sim::ExecutionModel& model;
+  /// The fault stream (retry-backoff jitter), owned by the fault injector;
+  /// null in fault-free trials — the default keeps hand-built worlds and
+  /// the zero-fault engine untouched.
+  prob::Rng* faultRng = nullptr;
 };
 
 class Scheduler {
@@ -80,6 +84,20 @@ class Scheduler {
   void handleCompletion(World& world, sim::MachineId machine, sim::TaskId task,
                         sim::Time now);
 
+  /// A machine failed: its completion event is cancelled, the running task
+  /// aborted (wasted execution) and its queue orphaned — every lost task
+  /// re-enters through the retry policy or is abandoned — then the machine
+  /// goes offline and a mapping event re-prices the batch queue against
+  /// the surviving cluster.
+  void handleMachineFailure(World& world, sim::MachineId machine,
+                            sim::Time now);
+
+  /// A failed machine rejoined: it comes back online (empty, with a lazily
+  /// rebuilt Eq. 1 chain) and a mapping event lets waiting work claim the
+  /// recovered capacity.
+  void handleMachineRecovery(World& world, sim::MachineId machine,
+                             sim::Time now);
+
   /// Drains bookkeeping after the last event (e.g. tasks still waiting in
   /// the batch queue when the trial ends count as reactive drops if they
   /// are overdue and proactive drops otherwise: they can no longer meet any
@@ -110,6 +128,11 @@ class Scheduler {
 
   void dropTask(World& world, sim::TaskId task, sim::Time now,
                 sim::TaskStatus reason);
+  /// Applies the retry policy to a task lost to a machine failure (or an
+  /// arrival with no online machine to take it): schedules a backed-off
+  /// re-arrival — through config_.retryHook when the federation gateway
+  /// owns re-admission — or abandons the task.
+  void retryOrAbandon(World& world, sim::TaskId task, sim::Time now);
   void dispatch(World& world, sim::TaskId task, sim::MachineId machine,
                 sim::Time now);
   void scheduleCompletion(World& world, sim::MachineId machine,
@@ -144,6 +167,8 @@ class Scheduler {
   /// Reusable drop-candidate list for the reactive pass (runs at every
   /// mapping event and is almost always empty).
   std::vector<sim::TaskId> overdueScratch_;
+  /// Queue contents of a failing machine (goOffline's FIFO hand-back).
+  std::vector<sim::TaskId> orphanScratch_;
   /// Drop-candidate list for the proactive pass — its own buffer, not an
   /// alias of overdueScratch_, so the two passes can never trample each
   /// other through a shared name.

@@ -1,6 +1,9 @@
 #include "core/simulation.h"
 
+#include <optional>
 #include <stdexcept>
+
+#include "sim/faults.h"
 
 namespace hcs::core {
 
@@ -39,8 +42,24 @@ TrialResult Simulation::run() {
 
   Scheduler scheduler(config_, model_.numTaskTypes());
   World world{pool, machines, events, metrics, execRng, model_};
+
+  // Fault injection arms AFTER the arrivals are pushed, so arrivals keep
+  // the lower sequence numbers (and win time ties); an inactive config
+  // schedules nothing and the trial is byte-identical to the fault-free
+  // engine.
+  std::optional<sim::FaultInjector> injector;
+  if (config_.faults.active()) {
+    injector.emplace(config_.faults, config_.faultSeed, machines.size());
+    world.faultRng = &injector->rng();
+    injector->beginTrial(events, machines, pool, model_);
+  }
   scheduler.beginTrial(world);
 
+  // With churn active, the stochastic fail/repair process re-arms on every
+  // transition and would keep the queue populated forever; the trial is
+  // over once every task reached a terminal state (no task events can be
+  // pending then — only fault events, which no longer matter).
+  const std::size_t totalTasks = pool.size();
   sim::Time now = 0;
   while (auto event = events.tryPop()) {
     now = event->time;
@@ -51,6 +70,21 @@ TrialResult Simulation::run() {
       case sim::EventKind::TaskCompletion:
         scheduler.handleCompletion(world, event->machine, event->task, now);
         break;
+      case sim::EventKind::MachineFailure:
+      case sim::EventKind::MachineRecovery: {
+        const auto j = static_cast<std::size_t>(event->machine);
+        const sim::FaultInjector::Action action =
+            injector->onEvent(events, *event, machines[j].online());
+        if (action == sim::FaultInjector::Action::Fail) {
+          scheduler.handleMachineFailure(world, event->machine, now);
+        } else if (action == sim::FaultInjector::Action::Recover) {
+          scheduler.handleMachineRecovery(world, event->machine, now);
+        }
+        break;
+      }
+    }
+    if (injector.has_value() && metrics.terminalCount() == totalTasks) {
+      break;
     }
   }
   scheduler.finalize(world, now);

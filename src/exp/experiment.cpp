@@ -13,6 +13,16 @@ std::uint64_t executionSeedFor(std::uint64_t workloadSeed) {
   return workloadSeed * 0x9e3779b97f4a7c15ULL + 1;
 }
 
+std::uint64_t faultSeedFor(std::uint64_t workloadSeed) {
+  // A full splitmix64 scramble (distinct increment from the execution
+  // stream's golden-ratio step) keeps the fault stream well-separated from
+  // both the workload and execution streams of the same trial.
+  std::uint64_t z = workloadSeed + 0x632be59bd9b4e019ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 TrialRunner::TrialRunner(const workload::BoundExecutionModel& model,
                          const ExperimentSpec& spec)
     : model_(&model), spec_(&spec) {}
@@ -24,6 +34,7 @@ core::TrialResult TrialRunner::runTrial(std::size_t trial) const {
 
   core::SimulationConfig simConfig = spec_->sim;
   simConfig.executionSeed = executionSeedFor(workloadSeed);
+  simConfig.faultSeed = faultSeedFor(workloadSeed);
 
   return core::Simulation(*model_, wl, simConfig).run();
 }
@@ -49,7 +60,17 @@ ExperimentResult aggregateTrialResults(
           counted);
       result.deferralsPerTask.add(
           static_cast<double>(tr.metrics.deferrals()) / counted);
+      result.abandonedPct.add(
+          100.0 * static_cast<double>(tr.metrics.abandoned()) / counted);
+      result.rejectedPct.add(
+          100.0 * static_cast<double>(tr.metrics.rejected()) / counted);
+      result.retriesPerTask.add(
+          static_cast<double>(tr.metrics.retries()) / counted);
+      result.failedThenMetPct.add(
+          100.0 * static_cast<double>(tr.metrics.failedThenMet()) / counted);
     }
+    result.machineFailures.add(
+        static_cast<double>(tr.metrics.machineFailures()));
     double utilization = 0.0;
     for (double u : tr.machineUtilization) utilization += u;
     if (!tr.machineUtilization.empty()) {

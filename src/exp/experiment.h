@@ -43,6 +43,13 @@ struct ExperimentResult {
   stats::RunningStats deferralsPerTask;
   stats::RunningStats meanUtilization;
 
+  // Robustness-under-churn outcomes (all zero for fault-free runs).
+  stats::RunningStats abandonedPct;     ///< retry policy gave up, % counted
+  stats::RunningStats rejectedPct;      ///< gateway refusals, % counted
+  stats::RunningStats retriesPerTask;   ///< retry re-arrivals per counted task
+  stats::RunningStats failedThenMetPct; ///< survived >=1 failure AND met
+  stats::RunningStats machineFailures;  ///< failure transitions per trial
+
   double robustnessMean() const { return robustnessCi.mean; }
 };
 
@@ -84,5 +91,13 @@ ExperimentResult aggregateTrialResults(
 /// The per-trial execution seed derived from a workload seed; exposed so
 /// every runner (single-cluster, federated) derives the identical stream.
 std::uint64_t executionSeedFor(std::uint64_t workloadSeed);
+
+/// The per-trial FAULT-stream seed derived from the same workload seed but
+/// through a different mix, so the fault stream is independent of both the
+/// workload and execution streams.  Because workload and execution draws
+/// never touch it, a fault-enabled sweep point sees the exact same arrivals
+/// and execution samples as its fault-free twin — the seed-pairing contract
+/// the robustness sweeps rely on.
+std::uint64_t faultSeedFor(std::uint64_t workloadSeed);
 
 }  // namespace hcs::exp

@@ -103,6 +103,21 @@ Table experimentMetricsTable(const ExperimentResult& result) {
   table.addRow({"mean machine utilization",
                 formatCi(stats::meanConfidenceInterval(
                     result.meanUtilization), 2)});
+  table.addRow({"abandoned %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.abandonedPct))});
+  table.addRow({"rejected %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.rejectedPct))});
+  table.addRow({"retries per task",
+                formatCi(stats::meanConfidenceInterval(
+                    result.retriesPerTask), 2)});
+  table.addRow({"failed-then-met %",
+                formatCi(stats::meanConfidenceInterval(
+                    result.failedThenMetPct))});
+  table.addRow({"machine failures per trial",
+                formatCi(stats::meanConfidenceInterval(
+                    result.machineFailures), 2)});
   return table;
 }
 
@@ -131,6 +146,16 @@ constexpr MetricColumn kMetrics[] = {
      [](const ExperimentResult& r) { return ciOf(r.deferralsPerTask); }},
     {"mean_utilization",
      [](const ExperimentResult& r) { return ciOf(r.meanUtilization); }},
+    {"abandoned_pct",
+     [](const ExperimentResult& r) { return ciOf(r.abandonedPct); }},
+    {"rejected_pct",
+     [](const ExperimentResult& r) { return ciOf(r.rejectedPct); }},
+    {"retries_per_task",
+     [](const ExperimentResult& r) { return ciOf(r.retriesPerTask); }},
+    {"failed_then_met_pct",
+     [](const ExperimentResult& r) { return ciOf(r.failedThenMetPct); }},
+    {"machine_failures",
+     [](const ExperimentResult& r) { return ciOf(r.machineFailures); }},
 };
 
 void emitTable(std::ostream& out, const Table& table, bool csv) {

@@ -370,6 +370,117 @@ void parseSim(const JsonValue& json, ScenarioSpec& spec) {
   sim.done();
 }
 
+void parseFaults(const JsonValue& json, ScenarioSpec& spec) {
+  Fields f(json, "faults");
+  auto& fc = spec.faults;
+  if (const auto* v = f.get("enabled")) {
+    fc.enabled = getBool(*v, "faults.enabled");
+  }
+  if (const auto* v = f.get("mtbf")) {
+    fc.mtbf = getNumber(*v, "faults.mtbf");
+    if (fc.mtbf < 0.0) fail(*v, "faults.mtbf: must be >= 0");
+  }
+  if (const auto* v = f.get("mttr")) {
+    fc.mttr = getNumber(*v, "faults.mttr");
+    if (fc.mttr < 0.0) fail(*v, "faults.mttr: must be >= 0");
+  }
+  if (const auto* v = f.get("max_attempts")) {
+    fc.maxAttempts = getPositiveInt(*v, "faults.max_attempts");
+  }
+  if (const auto* v = f.get("backoff")) {
+    Fields backoff(*v, "faults.backoff");
+    if (const auto* b = backoff.get("base")) {
+      fc.backoffBase = getPositive(*b, "faults.backoff.base");
+    }
+    if (const auto* b = backoff.get("factor")) {
+      fc.backoffFactor = getNumber(*b, "faults.backoff.factor");
+      if (fc.backoffFactor < 1.0) {
+        fail(*b, "faults.backoff.factor: must be >= 1");
+      }
+    }
+    if (const auto* b = backoff.get("jitter")) {
+      fc.backoffJitter = getNumber(*b, "faults.backoff.jitter");
+      if (fc.backoffJitter < 0.0) {
+        fail(*b, "faults.backoff.jitter: must be >= 0");
+      }
+    }
+    backoff.done();
+  }
+  if (const auto* v = f.get("events")) {
+    if (!v->isArray()) {
+      fail(*v, "faults.events: expected an array of {at, machine, kind}");
+    }
+    fc.events.clear();
+    for (const JsonValue& item : v->array()) {
+      Fields ev(item, "faults.events");
+      sim::ScriptedFault sf;
+      const auto* at = ev.get("at");
+      if (at == nullptr) fail(item, "faults.events: missing \"at\"");
+      sf.time = getNumber(*at, "faults.events.at");
+      if (sf.time < 0.0) fail(*at, "faults.events.at: must be >= 0");
+      const auto* machine = ev.get("machine");
+      if (machine == nullptr) fail(item, "faults.events: missing \"machine\"");
+      sf.machine = static_cast<sim::MachineId>(
+          getCount(*machine, "faults.events.machine"));
+      const auto* kind = ev.get("kind");
+      if (kind == nullptr) fail(item, "faults.events: missing \"kind\"");
+      const std::string name = getString(*kind, "faults.events.kind");
+      if (name == "fail" || name == "leave") {
+        sf.fail = true;
+      } else if (name == "recover" || name == "join") {
+        sf.fail = false;
+      } else {
+        fail(*kind, "faults.events.kind: unknown kind \"" + name +
+                        "\" (fail|leave|recover|join)");
+      }
+      ev.done();
+      fc.events.push_back(sf);
+    }
+  }
+  if (const auto* v = f.get("initially_offline")) {
+    if (!v->isArray()) {
+      fail(*v, "faults.initially_offline: expected an array of machine "
+               "indices");
+    }
+    fc.initiallyOffline.clear();
+    for (const JsonValue& item : v->array()) {
+      fc.initiallyOffline.push_back(static_cast<int>(
+          getCount(item, "faults.initially_offline")));
+    }
+  }
+  f.done();
+  if (fc.enabled && fc.mtbf > 0.0 && fc.mttr <= 0.0) {
+    fail(json, "faults: mttr must be positive when mtbf is");
+  }
+}
+
+void parseAdmission(const JsonValue& json, ScenarioSpec& spec) {
+  Fields a(json, "admission");
+  if (const auto* v = a.get("policy")) {
+    const std::string name = getString(*v, "admission.policy");
+    try {
+      spec.admission.policy = fed::parseAdmissionPolicy(name);
+    } catch (const std::invalid_argument&) {
+      fail(*v, "admission.policy: unknown policy \"" + name +
+                   "\" (accept_all|queue_bound|chance_threshold)");
+    }
+  }
+  if (const auto* v = a.get("queue_bound")) {
+    spec.admission.queueBound = getCount(*v, "admission.queue_bound");
+    if (spec.admission.queueBound == 0) {
+      fail(*v, "admission.queue_bound: must be >= 1");
+    }
+  }
+  if (const auto* v = a.get("chance_threshold")) {
+    spec.admission.chanceThreshold =
+        getFraction(*v, "admission.chance_threshold");
+  }
+  if (const auto* v = a.get("spillover")) {
+    spec.admission.spillover = getBool(*v, "admission.spillover");
+  }
+  a.done();
+}
+
 void parseFederation(const JsonValue& json, ScenarioSpec& spec) {
   Fields f(json, "federation");
   if (const auto* v = f.get("enabled")) {
@@ -479,13 +590,23 @@ ScenarioSpec parseScenarioSpec(const JsonValue& json) {
   if (const auto* v = top.get("cluster")) parseCluster(*v, spec);
   if (const auto* v = top.get("workload")) parseWorkload(*v, spec);
   if (const auto* v = top.get("sim")) parseSim(*v, spec);
+  if (const auto* v = top.get("faults")) parseFaults(*v, spec);
   if (const auto* v = top.get("federation")) parseFederation(*v, spec);
+  const JsonValue* admissionBlock = top.get("admission");
+  if (admissionBlock != nullptr) parseAdmission(*admissionBlock, spec);
   if (const auto* v = top.get("run")) parseRun(*v, spec);
   if (const auto* v = top.get("sweep")) {
     fail(*v, "\"sweep\" is a scenario-document key; parseScenarioDoc "
              "handles it (a bare scenario object cannot sweep)");
   }
   top.done();
+  if (spec.admission.policy != fed::AdmissionPolicyKind::AcceptAll &&
+      !spec.federationEnabled) {
+    fail(*admissionBlock,
+         "admission: policy \"" +
+             std::string(fed::toString(spec.admission.policy)) +
+             "\" requires federation.enabled (the gateway applies it)");
+  }
   return spec;
 }
 
@@ -593,6 +714,44 @@ util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
   sim.set("pruning", std::move(pruning));
   root.set("sim", std::move(sim));
 
+  JsonValue faults = JsonValue::makeObject();
+  const auto& fc = spec.faults;
+  faults.set("enabled", fc.enabled);
+  faults.set("mtbf", fc.mtbf);
+  faults.set("mttr", fc.mttr);
+  faults.set("max_attempts", fc.maxAttempts);
+  JsonValue backoff = JsonValue::makeObject();
+  backoff.set("base", fc.backoffBase);
+  backoff.set("factor", fc.backoffFactor);
+  backoff.set("jitter", fc.backoffJitter);
+  faults.set("backoff", std::move(backoff));
+  // Emitted only when non-empty: absent parses to empty, so the round trip
+  // holds without cluttering every fault-free canonical form.
+  if (!fc.events.empty()) {
+    JsonValue events = JsonValue::makeArray();
+    for (const sim::ScriptedFault& e : fc.events) {
+      JsonValue ev = JsonValue::makeObject();
+      ev.set("at", e.time);
+      ev.set("machine", static_cast<double>(e.machine));
+      ev.set("kind", e.fail ? "fail" : "recover");
+      events.append(std::move(ev));
+    }
+    faults.set("events", std::move(events));
+  }
+  if (!fc.initiallyOffline.empty()) {
+    JsonValue offline = JsonValue::makeArray();
+    for (int m : fc.initiallyOffline) offline.append(m);
+    faults.set("initially_offline", std::move(offline));
+  }
+  root.set("faults", std::move(faults));
+
+  JsonValue admission = JsonValue::makeObject();
+  admission.set("policy", std::string(fed::toString(spec.admission.policy)));
+  admission.set("queue_bound", spec.admission.queueBound);
+  admission.set("chance_threshold", spec.admission.chanceThreshold);
+  admission.set("spillover", spec.admission.spillover);
+  root.set("admission", std::move(admission));
+
   JsonValue federation = JsonValue::makeObject();
   federation.set("enabled", spec.federationEnabled);
   federation.set("clusters", spec.fedClusters);
@@ -685,6 +844,7 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
     bound.federation.clusters = spec.fedClusters;
     bound.federation.routing = spec.fedRouting;
     bound.federation.dispatchLatency = spec.fedDispatchLatency;
+    bound.federation.admission = spec.admission;
     if (spec.fedClusterShapes.empty()) {
       // Every cluster mirrors the base cluster — share the one bound model.
       bound.fedModels.assign(spec.fedClusters, bound.model);
@@ -753,6 +913,8 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
   sim.abortRunningAtDeadline = spec.abortRunningAtDeadline;
   sim.pctCacheEnabled = spec.pctCacheEnabled;
   sim.incrementalMappingEnabled = spec.incrementalMappingEnabled;
+  sim.faults = spec.faults;
+  sim.faults.validate();
   return bound;
 }
 

@@ -88,6 +88,20 @@ struct ScenarioSpec {
   bool pctCacheEnabled = true;
   bool incrementalMappingEnabled = true;
 
+  // --- faults ---
+  /// Machine churn + retry policy (scenario `faults` block).  The default
+  /// (disabled) leaves the engine byte-identical to the fault-free build.
+  /// Scripted events and initially_offline name machine indices, applied
+  /// to the matching index in EVERY cluster of a federated scenario;
+  /// out-of-range indices are rejected when the trial starts.
+  sim::FaultConfig faults;
+
+  // --- admission ---
+  /// Gateway admission control (scenario `admission` block).  Any policy
+  /// other than accept_all requires federation.enabled — the gateway is
+  /// what applies it.
+  fed::AdmissionConfig admission;
+
   // --- federation ---
   /// When enabled, the experiment runs through the federated dispatch
   /// engine (src/fed/): `fedClusters` clusters behind a gateway routing by

@@ -26,6 +26,7 @@ exp::ExperimentResult runFederatedExperiment(
 
     core::SimulationConfig simConfig = spec.sim;
     simConfig.executionSeed = exp::executionSeedFor(workloadSeed);
+    simConfig.faultSeed = exp::faultSeedFor(workloadSeed);
 
     std::vector<const sim::ExecutionModel*> clusterModels(models.begin(),
                                                           models.end());

@@ -1,8 +1,11 @@
 #include "fed/federation.h"
 
 #include <limits>
+#include <queue>
 #include <stdexcept>
 #include <utility>
+
+#include "sim/faults.h"
 
 namespace hcs::fed {
 
@@ -31,11 +34,29 @@ struct Cluster {
   /// scheduler's own so gateway queries never perturb mapping decisions.
   std::unique_ptr<heuristics::PctCache> routingCache;
   std::optional<heuristics::MappingContext> routingCtx;
+  /// Per-cluster churn driver (faults active only), on its own
+  /// seed-paired stream split from the trial's fault seed.
+  std::optional<sim::FaultInjector> injector;
   std::size_t inFlight = 0;
   std::size_t routed = 0;
   sim::Time lastEvent = 0;
 
   explicit Cluster(prob::Rng seeded) : rng(std::move(seeded)) {}
+};
+
+/// A failure retry waiting to re-enter the gateway: re-routed and
+/// re-admitted against the whole federation, not pinned to the cluster
+/// that failed it.  Ordered by (time, issue order).
+struct PendingRetry {
+  sim::Time at = 0;
+  std::uint64_t seq = 0;
+  sim::TaskId task = sim::kInvalidTask;
+};
+
+struct RetryLater {
+  bool operator()(const PendingRetry& a, const PendingRetry& b) const {
+    return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+  }
 };
 
 }  // namespace
@@ -68,6 +89,7 @@ FederatedSimulation::FederatedSimulation(
     throw std::invalid_argument(
         "FederatedSimulation: dispatch latency must be >= 0");
   }
+  spec_.admission.validate();
 }
 
 FederatedTrialResult FederatedSimulation::run() {
@@ -88,6 +110,18 @@ FederatedTrialResult FederatedSimulation::run() {
   }
   const std::vector<bool> countedMask =
       workload_.countedMask(config_.warmupMargin);
+
+  // Gateway-level accounting (rejections, spillovers) and the retry heap
+  // live above every cluster; the heap is declared before the clusters so
+  // each scheduler's retryHook can capture it.
+  sim::Metrics gatewayMetrics(numTaskTypes);
+  gatewayMetrics.setCounted(countedMask);
+  std::priority_queue<PendingRetry, std::vector<PendingRetry>, RetryLater>
+      retries;
+  std::uint64_t retrySeq = 0;
+  const bool faultsActive = config_.faults.active();
+  const bool admissionActive =
+      spec_.admission.policy != AdmissionPolicyKind::AcceptAll;
 
   std::vector<Cluster> clusters;
   clusters.reserve(n);
@@ -112,9 +146,19 @@ FederatedTrialResult FederatedSimulation::run() {
         if (baseSink) baseSink(e);
       };
     }
+    if (faultsActive) {
+      // Retries re-enter at the GATEWAY (re-routed, re-admitted) instead
+      // of the failing cluster's own event queue.
+      cl.config.retryHook = [&retries, &retrySeq](sim::TaskId id,
+                                                  sim::Time at) {
+        retries.push(PendingRetry{at, retrySeq++, id});
+      };
+    }
     cl.scheduler = std::make_unique<core::Scheduler>(cl.config, numTaskTypes);
-    if (n > 1) {
-      // Gateway-side Eq. 2 / ECT queries (least_ect, max_chance policies).
+    if (n > 1 ||
+        spec_.admission.policy == AdmissionPolicyKind::ChanceThreshold) {
+      // Gateway-side Eq. 2 / ECT queries (least_ect, max_chance routing and
+      // the chance_threshold admission bar, which needs them even at n=1).
       if (config_.pctCacheEnabled) {
         cl.routingCache = std::make_unique<heuristics::PctCache>();
       }
@@ -125,12 +169,22 @@ FederatedTrialResult FederatedSimulation::run() {
                             cl.routingCache.get());
       cl.routingCtx->enablePersistence();
     }
+    if (faultsActive) {
+      // Split per-cluster fault stream off the trial's fault seed, the same
+      // scheme the execution streams use (cluster 0 keeps the base).
+      cl.injector.emplace(config_.faults,
+                          clusterExecutionSeed(config_.faultSeed, c),
+                          cl.machines.size());
+      cl.injector->beginTrial(cl.events, cl.machines, pool, model);
+    }
   }
 
   auto worldOf = [&](std::size_t c) -> core::World {
     Cluster& cl = clusters[c];
-    return core::World{pool,       cl.machines, cl.events,
-                       cl.metrics, cl.rng,      *models_[c]};
+    core::World world{pool,       cl.machines, cl.events,
+                      cl.metrics, cl.rng,      *models_[c]};
+    if (cl.injector.has_value()) world.faultRng = &cl.injector->rng();
+    return world;
   };
   for (std::size_t c = 0; c < n; ++c) {
     const core::World world = worldOf(c);
@@ -140,17 +194,87 @@ FederatedTrialResult FederatedSimulation::run() {
   const std::unique_ptr<RoutingPolicy> policy =
       n > 1 ? makeRoutingPolicy(spec_.routing) : nullptr;
   if (policy != nullptr) policy->beginTrial();
+  const std::unique_ptr<AdmissionPolicy> admission =
+      admissionActive ? makeAdmissionPolicy(spec_.admission) : nullptr;
   std::vector<ClusterView> views(n);
 
-  // The gateway loop: merge the (time-sorted) arrival stream with every
-  // cluster's event queue.  Arrivals win time ties — they carry lower
-  // sequence numbers than any same-time completion in the single-cluster
-  // engine — and cluster ties break toward the lowest index.
+  auto refreshViews = [&](sim::Time when) {
+    for (std::size_t c = 0; c < n; ++c) {
+      Cluster& cl = clusters[c];
+      if (cl.routingCtx.has_value()) cl.routingCtx->rebind(when);
+      views[c] =
+          ClusterView{&cl.machines, cl.scheduler->batchQueueLength(),
+                      cl.inFlight,
+                      cl.routingCtx.has_value() ? &*cl.routingCtx : nullptr};
+    }
+  };
+
+  // Route, admit (with spillover), and deliver one gateway entrant — a
+  // stream arrival or a failure retry.  A federation-wide refusal is a
+  // terminal rejection priced into the aggregate metrics.
+  sim::Time now = 0;
+  auto admitAndDispatch = [&](sim::TaskId id, sim::Time when) {
+    if (n > 1 || admissionActive) refreshViews(when);
+    std::size_t target = 0;
+    if (n > 1) {
+      target = policy->route(views, pool[id], when);
+      if (target >= n) {
+        throw std::logic_error(
+            "FederatedSimulation: routing policy chose an invalid cluster");
+      }
+    }
+    if (admissionActive && !admission->admit(views[target], pool[id], when)) {
+      bool placed = false;
+      if (spec_.admission.spillover) {
+        for (std::size_t c = 0; c < n && !placed; ++c) {
+          if (c == target) continue;
+          if (admission->admit(views[c], pool[id], when)) {
+            target = c;
+            placed = true;
+            gatewayMetrics.recordSpillover();
+          }
+        }
+      }
+      if (!placed) {
+        sim::Task& t = pool[id];
+        t.status = sim::TaskStatus::Rejected;
+        t.finishTime = when;
+        gatewayMetrics.recordTerminal(t);
+        return;
+      }
+    }
+    Cluster& cl = clusters[target];
+    ++cl.routed;
+    if (spec_.dispatchLatency <= 0.0) {
+      cl.lastEvent = when;
+      core::World world = worldOf(target);
+      cl.scheduler->handleArrival(world, id, when);
+    } else {
+      ++cl.inFlight;
+      cl.events.push(when + spec_.dispatchLatency, sim::EventKind::TaskArrival,
+                     id);
+    }
+  };
+
+  // The gateway loop: merge the (time-sorted) arrival stream, the retry
+  // heap, and every cluster's event queue.  Stream arrivals win every time
+  // tie (they carry lower sequence numbers than any same-time completion in
+  // the single-cluster engine), retries beat cluster events at equal times
+  // (they are gateway arrivals too), and cluster ties break toward the
+  // lowest index.
   const std::vector<workload::TaskSpec>& stream = workload_.tasks();
   std::size_t cursor = 0;
-  sim::Time now = 0;
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  // With churn active, every cluster's fail/repair process re-arms on each
+  // transition and its queue never drains; the trial is over once every
+  // task reached a terminal state somewhere in the federation.
+  auto allTasksTerminal = [&] {
+    std::size_t terminal = gatewayMetrics.terminalCount();
+    for (const Cluster& cl : clusters) terminal += cl.metrics.terminalCount();
+    return terminal == pool.size();
+  };
   while (true) {
+    if (faultsActive && allTasksTerminal()) break;
     std::size_t nextCluster = kNone;
     sim::Time nextEventTime = 0;
     for (std::size_t c = 0; c < n; ++c) {
@@ -162,39 +286,25 @@ FederatedTrialResult FederatedSimulation::run() {
       }
     }
     const bool haveArrival = cursor < stream.size();
-    if (!haveArrival && nextCluster == kNone) break;
+    const bool haveRetry = !retries.empty();
+    if (!haveArrival && !haveRetry && nextCluster == kNone) break;
 
     if (haveArrival &&
+        (!haveRetry || stream[cursor].arrival <= retries.top().at) &&
         (nextCluster == kNone || stream[cursor].arrival <= nextEventTime)) {
       const sim::TaskId id = ids[cursor];
       now = stream[cursor].arrival;
       ++cursor;
-      std::size_t target = 0;
-      if (n > 1) {
-        for (std::size_t c = 0; c < n; ++c) {
-          Cluster& cl = clusters[c];
-          cl.routingCtx->rebind(now);
-          views[c] = ClusterView{&cl.machines,
-                                 cl.scheduler->batchQueueLength(),
-                                 cl.inFlight, &*cl.routingCtx};
-        }
-        target = policy->route(views, pool[id], now);
-        if (target >= n) {
-          throw std::logic_error(
-              "FederatedSimulation: routing policy chose an invalid cluster");
-        }
-      }
-      Cluster& cl = clusters[target];
-      ++cl.routed;
-      if (spec_.dispatchLatency <= 0.0) {
-        cl.lastEvent = now;
-        core::World world = worldOf(target);
-        cl.scheduler->handleArrival(world, id, now);
-      } else {
-        ++cl.inFlight;
-        cl.events.push(now + spec_.dispatchLatency,
-                       sim::EventKind::TaskArrival, id);
-      }
+      admitAndDispatch(id, now);
+      continue;
+    }
+
+    if (haveRetry &&
+        (nextCluster == kNone || retries.top().at <= nextEventTime)) {
+      const PendingRetry retry = retries.top();
+      retries.pop();
+      now = retry.at;
+      admitAndDispatch(retry.task, now);
       continue;
     }
 
@@ -203,11 +313,26 @@ FederatedTrialResult FederatedSimulation::run() {
     now = event.time;
     cl.lastEvent = event.time;
     core::World world = worldOf(nextCluster);
-    if (event.kind == sim::EventKind::TaskArrival) {
-      --cl.inFlight;
-      cl.scheduler->handleArrival(world, event.task, now);
-    } else {
-      cl.scheduler->handleCompletion(world, event.machine, event.task, now);
+    switch (event.kind) {
+      case sim::EventKind::TaskArrival:
+        --cl.inFlight;
+        cl.scheduler->handleArrival(world, event.task, now);
+        break;
+      case sim::EventKind::TaskCompletion:
+        cl.scheduler->handleCompletion(world, event.machine, event.task, now);
+        break;
+      case sim::EventKind::MachineFailure:
+      case sim::EventKind::MachineRecovery: {
+        const auto j = static_cast<std::size_t>(event.machine);
+        const sim::FaultInjector::Action action = cl.injector->onEvent(
+            cl.events, event, cl.machines[j].online());
+        if (action == sim::FaultInjector::Action::Fail) {
+          cl.scheduler->handleMachineFailure(world, event.machine, now);
+        } else if (action == sim::FaultInjector::Action::Recover) {
+          cl.scheduler->handleMachineRecovery(world, event.machine, now);
+        }
+        break;
+      }
     }
   }
 
@@ -218,6 +343,7 @@ FederatedTrialResult FederatedSimulation::run() {
 
   FederatedTrialResult result;
   result.total.metrics = sim::Metrics(numTaskTypes);
+  result.total.metrics.merge(gatewayMetrics);
   result.total.makespan = now;
   result.clusters.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {

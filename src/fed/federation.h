@@ -29,6 +29,7 @@
 #include "core/config.h"
 #include "core/scheduler.h"
 #include "core/simulation.h"
+#include "fed/admission.h"
 #include "fed/routing.h"
 #include "heuristics/context.h"
 #include "heuristics/pct_cache.h"
@@ -50,6 +51,12 @@ struct FederationSpec {
   /// arrives at its cluster at its global arrival time, exactly as the
   /// single-cluster engine sees it.
   double dispatchLatency = 0.0;
+  /// Gateway admission control: applied after routing to every task that
+  /// enters the gateway (stream arrivals AND failure retries).  A refused
+  /// task spills to sibling clusters in ascending index order (when
+  /// spillover is on); a federation-wide refusal rejects it outright.  The
+  /// accept_all default keeps the fault-free identity contracts intact.
+  AdmissionConfig admission;
   /// Optional sink receiving every task lifecycle transition together with
   /// the cluster it happened on.
   std::function<void(std::size_t cluster, const sim::TraceEvent&)> traceSink;

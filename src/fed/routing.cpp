@@ -74,8 +74,11 @@ class LeastExpectedCompletionPolicy final : public RoutingPolicy {
     double bestEct = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       const heuristics::MappingContext& ctx = *clusters[c].ctx;
+      // Offline (churned) machines offer no completion; an all-offline
+      // cluster keeps infinite merit and is never chosen over a live one.
       double clusterEct = std::numeric_limits<double>::infinity();
       for (int j = 0; j < ctx.numMachines(); ++j) {
+        if (!ctx.machine(j).online()) continue;
         const double ect = ctx.expectedCompletionForType(task.type, j);
         if (ect < clusterEct) clusterEct = ect;
       }
@@ -102,8 +105,12 @@ class MaxChancePolicy final : public RoutingPolicy {
     for (std::size_t c = 0; c < clusters.size(); ++c) {
       const heuristics::MappingContext& ctx = *clusters[c].ctx;
       const std::vector<double> chances = ctx.successChances(task.id);
+      // Offline machines are skipped: a churned machine's (empty-queue) PCT
+      // would otherwise advertise the best chance in the federation.
       double clusterChance = 0.0;
-      for (const double chance : chances) {
+      for (int j = 0; j < ctx.numMachines(); ++j) {
+        if (!ctx.machine(j).online()) continue;
+        const double chance = chances[static_cast<std::size_t>(j)];
         if (chance > clusterChance) clusterChance = chance;
       }
       if (clusterChance > bestChance) {

@@ -2,27 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 #include <vector>
 
 namespace hcs::heuristics {
 
+// Every immediate heuristic places on *online* machines only (a churned
+// machine offers no capacity); with the whole fleet up the filters are
+// behavioral no-ops and every selection is bit-identical to the fault-free
+// engine.  With no machine online they return kInvalidMachine and the
+// scheduler routes the arrival through the retry policy.
+
 sim::MachineId RoundRobin::selectMachine(const MappingContext& ctx,
                                          sim::TaskId /*task*/) {
-  const sim::MachineId pick = next_;
-  next_ = (next_ + 1) % ctx.numMachines();
-  return pick;
+  const int m = ctx.numMachines();
+  for (int i = 0; i < m; ++i) {
+    const auto j = static_cast<sim::MachineId>((next_ + i) % m);
+    if (!ctx.machine(j).online()) continue;
+    next_ = (j + 1) % m;
+    return j;
+  }
+  return sim::kInvalidMachine;
 }
 
 sim::MachineId MinimumExpectedExecutionTime::selectMachine(
     const MappingContext& ctx, sim::TaskId task) {
   const sim::TaskType type = ctx.pool()[task].type;
-  sim::MachineId best = 0;
-  double bestExec = ctx.expectedExec(type, 0);
-  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+  sim::MachineId best = sim::kInvalidMachine;
+  double bestExec = 0.0;
+  for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
+    if (!ctx.machine(j).online()) continue;
     const double exec = ctx.expectedExec(type, j);
-    if (exec < bestExec) {
+    if (best == sim::kInvalidMachine || exec < bestExec) {
       bestExec = exec;
       best = j;
     }
@@ -32,11 +43,12 @@ sim::MachineId MinimumExpectedExecutionTime::selectMachine(
 
 sim::MachineId MinimumExpectedCompletionTime::selectMachine(
     const MappingContext& ctx, sim::TaskId task) {
-  sim::MachineId best = 0;
-  double bestCompletion = ctx.expectedCompletion(task, 0);
-  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
+  sim::MachineId best = sim::kInvalidMachine;
+  double bestCompletion = 0.0;
+  for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
+    if (!ctx.machine(j).online()) continue;
     const double completion = ctx.expectedCompletion(task, j);
-    if (completion < bestCompletion) {
+    if (best == sim::kInvalidMachine || completion < bestCompletion) {
       bestCompletion = completion;
       best = j;
     }
@@ -51,10 +63,12 @@ sim::MachineId MaxChance::selectMachine(const MappingContext& ctx,
   // the arena kernels) and take the argmax; ties fall to the lowest id and
   // then the scalar completion estimate never enters the decision.
   const std::vector<double> chances = ctx.successChances(task);
-  sim::MachineId best = 0;
-  for (sim::MachineId j = 1; j < ctx.numMachines(); ++j) {
-    if (chances[static_cast<std::size_t>(j)] >
-        chances[static_cast<std::size_t>(best)]) {
+  sim::MachineId best = sim::kInvalidMachine;
+  for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
+    if (!ctx.machine(j).online()) continue;
+    if (best == sim::kInvalidMachine ||
+        chances[static_cast<std::size_t>(j)] >
+            chances[static_cast<std::size_t>(best)]) {
       best = j;
     }
   }
@@ -71,10 +85,17 @@ sim::MachineId KPercentBest::selectMachine(const MappingContext& ctx,
                                            sim::TaskId task) {
   const sim::TaskType type = ctx.pool()[task].type;
   const int m = ctx.numMachines();
+  std::vector<sim::MachineId> order;
+  order.reserve(static_cast<std::size_t>(m));
+  for (sim::MachineId j = 0; j < m; ++j) {
+    if (ctx.machine(j).online()) order.push_back(j);
+  }
+  if (order.empty()) return sim::kInvalidMachine;
+  // k stays a fraction of the FULL fleet (the paper's heterogeneity knob),
+  // clamped to the surviving machines.
+  const int n = static_cast<int>(order.size());
   const int k = std::clamp(
-      static_cast<int>(std::lround(kPercent_ * static_cast<double>(m))), 1, m);
-  std::vector<sim::MachineId> order(static_cast<std::size_t>(m));
-  std::iota(order.begin(), order.end(), 0);
+      static_cast<int>(std::lround(kPercent_ * static_cast<double>(m))), 1, n);
   std::partial_sort(order.begin(), order.begin() + k, order.end(),
                     [&](sim::MachineId a, sim::MachineId b) {
                       return ctx.expectedExec(type, a) <

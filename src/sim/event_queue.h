@@ -10,10 +10,16 @@
 namespace hcs::sim {
 
 /// Mapping events fire "when a task completes its execution or when a new
-/// task arrives into the system" (§II); these are the two event kinds.
+/// task arrives into the system" (§II); those are the paper's two kinds.
+/// The fault-injection layer adds machine churn through the same queue:
+/// failures and recoveries are ordinary timed events, so fault-enabled runs
+/// keep the engine's total (time, seq) order — and runs with no fault
+/// events scheduled are byte-identical to the original two-kind engine.
 enum class EventKind {
   TaskArrival,
   TaskCompletion,
+  MachineFailure,   ///< the machine in Event.machine goes offline
+  MachineRecovery,  ///< the machine in Event.machine rejoins the cluster
 };
 
 struct Event {

@@ -1,0 +1,138 @@
+#include "sim/faults.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace hcs::sim {
+
+void FaultConfig::validate() const {
+  if (!enabled) return;
+  if (mtbf > 0.0 && mttr <= 0.0) {
+    throw std::invalid_argument(
+        "FaultConfig: mttr must be positive when mtbf is");
+  }
+  if (maxAttempts < 1) {
+    throw std::invalid_argument("FaultConfig: max_attempts must be >= 1");
+  }
+  if (backoffBase <= 0.0) {
+    throw std::invalid_argument("FaultConfig: backoff base must be positive");
+  }
+  if (backoffFactor < 1.0) {
+    throw std::invalid_argument("FaultConfig: backoff factor must be >= 1");
+  }
+  if (backoffJitter < 0.0) {
+    throw std::invalid_argument(
+        "FaultConfig: backoff jitter must be >= 0");
+  }
+  for (const ScriptedFault& e : events) {
+    if (e.time < 0 || e.machine < 0) {
+      throw std::invalid_argument(
+          "FaultConfig: scripted events need time >= 0 and machine >= 0");
+    }
+  }
+  for (const int m : initiallyOffline) {
+    if (m < 0) {
+      throw std::invalid_argument(
+          "FaultConfig: initially_offline machine must be >= 0");
+    }
+  }
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed,
+                             std::size_t numMachines)
+    : config_(config), rng_(seed), numMachines_(numMachines) {
+  config.validate();
+  for (const ScriptedFault& e : config.events) {
+    if (static_cast<std::size_t>(e.machine) >= numMachines) {
+      throw std::invalid_argument(
+          "FaultInjector: scripted event machine " +
+          std::to_string(e.machine) + " out of range (cluster has " +
+          std::to_string(numMachines) + ")");
+    }
+  }
+  for (const int m : config.initiallyOffline) {
+    if (static_cast<std::size_t>(m) >= numMachines) {
+      throw std::invalid_argument(
+          "FaultInjector: initially_offline machine " + std::to_string(m) +
+          " out of range (cluster has " + std::to_string(numMachines) + ")");
+    }
+  }
+}
+
+void FaultInjector::armFailure(EventQueue& events, MachineId m, Time now) {
+  outstanding_[static_cast<std::size_t>(m)] = events.nextSeq();
+  events.push(now + drawUptime(), EventKind::MachineFailure, kInvalidTask, m);
+}
+
+void FaultInjector::armRecovery(EventQueue& events, MachineId m, Time now) {
+  outstanding_[static_cast<std::size_t>(m)] = events.nextSeq();
+  events.push(now + drawRepair(), EventKind::MachineRecovery, kInvalidTask,
+              m);
+}
+
+void FaultInjector::beginTrial(EventQueue& events,
+                               std::vector<Machine>& machines,
+                               const TaskPool& pool,
+                               const ExecutionModel& model) {
+  outstanding_.assign(numMachines_, kNoEvent);
+  // Dead-from-the-start capacity: taken down directly (nothing ran yet, so
+  // there is nothing to abort and no trace to emit), stochastic process
+  // not armed — only a scripted recover revives them.
+  std::vector<TaskId> orphans;
+  for (const int m : config_.initiallyOffline) {
+    Machine& machine = machines[static_cast<std::size_t>(m)];
+    if (machine.online()) machine.goOffline(0, pool, model, orphans);
+  }
+  for (const ScriptedFault& e : config_.events) {
+    events.push(e.time,
+                e.fail ? EventKind::MachineFailure : EventKind::MachineRecovery,
+                kInvalidTask, e.machine);
+  }
+  if (config_.mtbf <= 0.0) return;
+  for (std::size_t j = 0; j < numMachines_; ++j) {
+    if (machines[j].online()) {
+      armFailure(events, static_cast<MachineId>(j), 0);
+    }
+  }
+}
+
+FaultInjector::Action FaultInjector::onEvent(EventQueue& events,
+                                             const Event& event,
+                                             bool machineOnline) {
+  const auto idx = static_cast<std::size_t>(event.machine);
+  const bool stochastic = outstanding_[idx] == event.seq;
+  if (stochastic) outstanding_[idx] = kNoEvent;
+  if (event.kind == EventKind::MachineFailure) {
+    // A scripted fail on an already-dead machine is a no-op (the machine is
+    // in the target state); a stochastic fail is never stale — it would
+    // have been cancelled by whichever transition took the machine down.
+    if (!machineOnline) return Action::None;
+    if (stochastic) {
+      armRecovery(events, event.machine, event.time);
+    } else {
+      // Scripted fail pins the machine down: the pending stochastic
+      // failure dies with it, and no repair is armed.
+      if (outstanding_[idx] != kNoEvent) {
+        events.cancel(outstanding_[idx]);
+        outstanding_[idx] = kNoEvent;
+      }
+    }
+    return Action::Fail;
+  }
+  if (event.kind != EventKind::MachineRecovery) {
+    throw std::logic_error("FaultInjector::onEvent: not a fault event");
+  }
+  if (machineOnline) return Action::None;  // scripted join on an up machine
+  if (!stochastic) {
+    // Scripted recover: absorb any pending stochastic repair and re-arm
+    // the up-time process from this instant.
+    if (outstanding_[idx] != kNoEvent) {
+      events.cancel(outstanding_[idx]);
+      outstanding_[idx] = kNoEvent;
+    }
+  }
+  if (config_.mtbf > 0.0) armFailure(events, event.machine, event.time);
+  return Action::Recover;
+}
+
+}  // namespace hcs::sim

@@ -1,0 +1,132 @@
+#pragma once
+// Deterministic fault injection: machine failure/recovery and join/leave
+// churn delivered through the engine's EventQueue.
+//
+// Two sources of churn compose:
+//  - A stochastic process per machine — alternating Exp(mtbf) up-times and
+//    Exp(mttr) repair times drawn from a dedicated fault RNG stream that is
+//    seed-paired with (but independent of) the execution stream, so a
+//    fault-enabled sweep point sees the same workload and execution draws
+//    as its fault-free twin.
+//  - Scripted events — explicit fail/recover (alias leave/join) transitions
+//    at fixed times from the scenario file, for reproducing a specific
+//    capacity timeline.  A scripted `fail` pins the machine down (the
+//    stochastic repair is cancelled and not re-armed) until a scripted
+//    `recover` re-arms the process; a scripted event whose machine is
+//    already in the target state is a no-op.
+//
+// The injector owns no engine state: it schedules MachineFailure /
+// MachineRecovery events, and the engine calls onEvent() when one pops to
+// learn whether the transition applies.  With no fault events scheduled
+// (faults disabled, or enabled with zero rates and no scripted events) the
+// event queue's contents — and therefore the whole trial — are byte-
+// identical to the fault-free engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "prob/rng.h"
+#include "sim/event_queue.h"
+#include "sim/machine.h"
+#include "sim/types.h"
+
+namespace hcs::sim {
+
+/// One scripted churn transition from the scenario file.
+struct ScriptedFault {
+  Time time = 0;
+  MachineId machine = kInvalidMachine;
+  bool fail = true;  ///< true = fail/leave, false = recover/join
+};
+
+/// Scenario-level fault model: churn process + retry policy.  The retry
+/// fields live here (not on the injector) because the scheduler applies
+/// them when a failure orphans tasks.
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Mean time between failures per machine (exponential).  <= 0 disables
+  /// the stochastic process — the oracle case for zero-fault identity.
+  double mtbf = 0.0;
+  /// Mean time to repair per machine (exponential); must be positive when
+  /// mtbf is.
+  double mttr = 0.0;
+
+  /// Retry policy for tasks lost to a failure: a task is abandoned after
+  /// `maxAttempts` failed executions, or as soon as its backoff delay
+  /// would push the retry past its deadline (deadline-aware give-up).
+  int maxAttempts = 3;
+  /// Backoff before the k-th retry: base * factor^(k-1), stretched by a
+  /// uniform jitter draw in [0, jitter] from the fault stream.
+  double backoffBase = 1.0;
+  double backoffFactor = 2.0;
+  double backoffJitter = 0.1;
+
+  std::vector<ScriptedFault> events;
+  /// Machines that start the trial offline (dead capacity until a scripted
+  /// recover — the stochastic process never arms for them on its own).
+  std::vector<int> initiallyOffline;
+
+  /// True when this config can inject at least one event; false configs
+  /// leave the engine untouched.
+  bool active() const {
+    return enabled &&
+           (mtbf > 0.0 || !events.empty() || !initiallyOffline.empty());
+  }
+
+  /// Throws std::invalid_argument on inconsistent knobs (non-positive mttr
+  /// with stochastic failures on, bad backoff shape, ...).
+  void validate() const;
+};
+
+/// Per-trial churn driver.  Deterministic: the same config, seed, and
+/// machine count always produce the same event times and transitions.
+class FaultInjector {
+ public:
+  /// What onEvent() decided for a popped fault event.
+  enum class Action {
+    None,     ///< stale (machine already in the target state) — ignore
+    Fail,     ///< take Event.machine offline
+    Recover,  ///< bring Event.machine back online
+  };
+
+  FaultInjector(const FaultConfig& config, std::uint64_t seed,
+                std::size_t numMachines);
+
+  /// Arms the trial: pushes every scripted event, marks the
+  /// initially-offline machines (directly — they were never up, so there
+  /// is nothing to abort), and schedules the first stochastic failure of
+  /// every other machine.  Call after the workload's arrivals are pushed
+  /// so arrivals keep the lower sequence numbers (and win time ties).
+  void beginTrial(EventQueue& events, std::vector<Machine>& machines,
+                  const TaskPool& pool, const ExecutionModel& model);
+
+  /// Classifies a popped MachineFailure/MachineRecovery event and re-arms
+  /// the stochastic process for the machine's new state.  `machineOnline`
+  /// is the machine's current state (the injector does not retain a
+  /// pointer to the fleet).
+  Action onEvent(EventQueue& events, const Event& event, bool machineOnline);
+
+  /// The fault RNG stream — the scheduler draws retry-backoff jitter from
+  /// it so all fault randomness stays on one seed-paired stream.
+  prob::Rng& rng() { return rng_; }
+
+ private:
+  static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+
+  Time drawUptime() { return rng_.exponential(config_.mtbf); }
+  Time drawRepair() { return rng_.exponential(config_.mttr); }
+  void armFailure(EventQueue& events, MachineId m, Time now);
+  void armRecovery(EventQueue& events, MachineId m, Time now);
+
+  const FaultConfig& config_;
+  prob::Rng rng_;
+  std::size_t numMachines_;
+  /// Per machine: seq of its outstanding *stochastic* event (kNoEvent when
+  /// none).  A popped event with a different seq is scripted; a scripted
+  /// transition cancels the outstanding stochastic event so a machine
+  /// never holds two live fault events.
+  std::vector<std::uint64_t> outstanding_;
+};
+
+}  // namespace hcs::sim

@@ -202,6 +202,9 @@ void Machine::startTask(TaskId task, Time now, TaskPool& pool) {
 bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
                        const ExecutionModel& model,
                        const prob::DiscretePmf* newTail) {
+  if (!online_) {
+    throw std::logic_error("dispatch: machine is offline");
+  }
   Task& t = pool[task];
   t.machine = id_;
   t.queuedAt = now;
@@ -293,6 +296,31 @@ void Machine::abortRunning(Time now, TaskPool& pool,
   }
   busyTime_ += now - runStart_;
   running_ = kInvalidTask;
+  tailChanged(now, pool, model);
+}
+
+void Machine::goOffline(Time now, const TaskPool& pool,
+                        const ExecutionModel& model,
+                        std::vector<TaskId>& orphans) {
+  if (!online_) {
+    throw std::logic_error("goOffline: machine is already offline");
+  }
+  if (busy()) {
+    throw std::logic_error("goOffline: abort the running task first");
+  }
+  online_ = false;
+  orphans.insert(orphans.end(), queue_.begin(), queue_.end());
+  queue_.clear();
+  queueTypes_.clear();
+  tailChanged(now, pool, model);
+}
+
+void Machine::comeOnline(Time now, const TaskPool& pool,
+                         const ExecutionModel& model) {
+  if (online_) {
+    throw std::logic_error("comeOnline: machine is already online");
+  }
+  online_ = true;
   tailChanged(now, pool, model);
 }
 

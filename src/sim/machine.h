@@ -56,6 +56,12 @@ class Machine {
   TaskId runningTask() const { return running_; }
   Time runningSince() const { return runStart_; }
 
+  /// False while the machine is failed / has left the cluster (fault
+  /// injection): it offers no capacity and refuses dispatches.  Both edges
+  /// bump the queue epoch, so every epoch-keyed memo downstream (PCT cache,
+  /// ready memos, phase-1 tables) invalidates exactly the churned machine.
+  bool online() const { return online_; }
+
   const std::deque<TaskId>& queue() const { return queue_; }
   /// Task types of queue(), same order — a dense mirror so the hot queue
   /// walks (expected-ready sums, Eq. 1 chain rebuilds) read one contiguous
@@ -163,6 +169,20 @@ class Machine {
   /// promoting a successor.
   void abortRunning(Time now, TaskPool& pool, const ExecutionModel& model);
 
+  /// Takes the machine offline (a failure or scripted leave).  The caller
+  /// must abort the running task first — it owns the completion event and
+  /// the wasted-work accounting.  The queued tasks are orphaned into
+  /// `orphans` in FIFO order; the queue empties under ONE tail
+  /// invalidation, not one per task.  Throws std::logic_error if busy or
+  /// already offline.
+  void goOffline(Time now, const TaskPool& pool, const ExecutionModel& model,
+                 std::vector<TaskId>& orphans);
+
+  /// Brings a failed machine back online.  The machine is empty, so the
+  /// Eq. 1 state rebuilds lazily to the trivial chain on the next tail
+  /// read.  Throws std::logic_error if already online.
+  void comeOnline(Time now, const TaskPool& pool, const ExecutionModel& model);
+
  private:
   std::int64_t binAt(Time t) const;
   /// Folds the pending lazy appends into tail_ (no-op when none).
@@ -194,6 +214,7 @@ class Machine {
   mutable std::vector<TaskType> pendingAppends_;
   std::uint64_t epoch_ = 0;
   Time busyTime_ = 0;
+  bool online_ = true;
 };
 
 }  // namespace hcs::sim

@@ -21,6 +21,7 @@ void Metrics::recordTerminal(const Task& task) {
   if (!isTerminal(task.status)) {
     throw std::logic_error("Metrics::recordTerminal: task not terminal");
   }
+  ++terminalTotal_;
   if (!isCounted(task.id)) return;
   ++countedTotal_;
   countedValue_ += task.value;
@@ -30,6 +31,7 @@ void Metrics::recordTerminal(const Task& task) {
     case TaskStatus::CompletedOnTime:
       ++type.completedOnTime;
       ++totals_.completedOnTime;
+      if (task.failures > 0) ++failedThenMet_;
       break;
     case TaskStatus::CompletedLate:
       ++type.completedLate;
@@ -42,6 +44,14 @@ void Metrics::recordTerminal(const Task& task) {
     case TaskStatus::DroppedProactive:
       ++type.droppedProactive;
       ++totals_.droppedProactive;
+      break;
+    case TaskStatus::Abandoned:
+      ++type.abandoned;
+      ++totals_.abandoned;
+      break;
+    case TaskStatus::Rejected:
+      ++type.rejected;
+      ++totals_.rejected;
       break;
     default:
       break;
@@ -57,13 +67,22 @@ void Metrics::merge(const Metrics& other) {
     perType_[k].completedLate += other.perType_[k].completedLate;
     perType_[k].droppedReactive += other.perType_[k].droppedReactive;
     perType_[k].droppedProactive += other.perType_[k].droppedProactive;
+    perType_[k].abandoned += other.perType_[k].abandoned;
+    perType_[k].rejected += other.perType_[k].rejected;
   }
   totals_.completedOnTime += other.totals_.completedOnTime;
   totals_.completedLate += other.totals_.completedLate;
   totals_.droppedReactive += other.totals_.droppedReactive;
   totals_.droppedProactive += other.totals_.droppedProactive;
+  totals_.abandoned += other.totals_.abandoned;
+  totals_.rejected += other.totals_.rejected;
   countedTotal_ += other.countedTotal_;
+  terminalTotal_ += other.terminalTotal_;
   deferrals_ += other.deferrals_;
+  machineFailures_ += other.machineFailures_;
+  retries_ += other.retries_;
+  spillovers_ += other.spillovers_;
+  failedThenMet_ += other.failedThenMet_;
   countedValue_ += other.countedValue_;
   onTimeValue_ += other.onTimeValue_;
   perMachine_.insert(perMachine_.end(), other.perMachine_.begin(),

@@ -16,9 +16,12 @@ struct TypeOutcomes {
   std::size_t completedLate = 0;
   std::size_t droppedReactive = 0;
   std::size_t droppedProactive = 0;
+  std::size_t abandoned = 0;  ///< retry policy gave up after failures
+  std::size_t rejected = 0;   ///< refused at the federation gateway
 
   std::size_t total() const {
-    return completedOnTime + completedLate + droppedReactive + droppedProactive;
+    return completedOnTime + completedLate + droppedReactive +
+           droppedProactive + abandoned + rejected;
   }
 };
 
@@ -40,6 +43,17 @@ class Metrics {
   /// Records one deferral decision (a task pushed back to the batch queue).
   void recordDeferral() { ++deferrals_; }
 
+  /// Records one machine failure event (the churn intensity of a trial).
+  void recordMachineFailure() { ++machineFailures_; }
+
+  /// Records one retry: a failed/orphaned task re-entering the arrival
+  /// stream under the backoff policy.
+  void recordRetry() { ++retries_; }
+
+  /// Records one spillover: the gateway redirecting a task a degraded
+  /// cluster refused to a sibling.
+  void recordSpillover() { ++spillovers_; }
+
   /// Records machine time spent executing a task.  `useful` when the task
   /// completed on time; otherwise the time was wasted on a failing task —
   /// the quantity the paper's §VII energy argument is about.
@@ -59,8 +73,20 @@ class Metrics {
   std::size_t completedLate() const { return totals_.completedLate; }
   std::size_t droppedReactive() const { return totals_.droppedReactive; }
   std::size_t droppedProactive() const { return totals_.droppedProactive; }
+  std::size_t abandoned() const { return totals_.abandoned; }
+  std::size_t rejected() const { return totals_.rejected; }
   std::size_t deferrals() const { return deferrals_; }
+  std::size_t machineFailures() const { return machineFailures_; }
+  std::size_t retries() const { return retries_; }
+  std::size_t spillovers() const { return spillovers_; }
+  /// Counted tasks that absorbed at least one machine failure and still
+  /// completed on time — the payoff of the retry policy.
+  std::size_t failedThenMet() const { return failedThenMet_; }
   std::size_t countedTasks() const { return countedTotal_; }
+  /// Every recordTerminal call, counted or not — the engine's trial-over
+  /// check under churn (totals() excludes warm-up-trimmed tasks, which
+  /// still have to terminate before the fault process may stop).
+  std::size_t terminalCount() const { return terminalTotal_; }
 
   /// % of counted tasks that completed on time (the robustness metric).
   double robustnessPercent() const;
@@ -95,7 +121,12 @@ class Metrics {
   TypeOutcomes totals_;
   std::vector<bool> counted_;  ///< empty = count everything
   std::size_t countedTotal_ = 0;
+  std::size_t terminalTotal_ = 0;
   std::size_t deferrals_ = 0;
+  std::size_t machineFailures_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t spillovers_ = 0;
+  std::size_t failedThenMet_ = 0;
   std::vector<ExecutionSplit> perMachine_;
   double countedValue_ = 0.0;
   double onTimeValue_ = 0.0;

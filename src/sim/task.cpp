@@ -8,6 +8,8 @@ bool isTerminal(TaskStatus s) {
     case TaskStatus::CompletedLate:
     case TaskStatus::DroppedReactive:
     case TaskStatus::DroppedProactive:
+    case TaskStatus::Abandoned:
+    case TaskStatus::Rejected:
       return true;
     case TaskStatus::Created:
     case TaskStatus::Batched:
@@ -28,6 +30,8 @@ std::string_view toString(TaskStatus s) {
     case TaskStatus::CompletedLate: return "CompletedLate";
     case TaskStatus::DroppedReactive: return "DroppedReactive";
     case TaskStatus::DroppedProactive: return "DroppedProactive";
+    case TaskStatus::Abandoned: return "Abandoned";
+    case TaskStatus::Rejected: return "Rejected";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class TaskStatus {
   CompletedLate,     ///< finished after its deadline
   DroppedReactive,   ///< evicted because its deadline had already passed
   DroppedProactive,  ///< evicted by the pruner (low chance of success)
+  Abandoned,         ///< gave up after machine failures (retry policy)
+  Rejected,          ///< refused at the federation gateway (admission)
 };
 
 bool isTerminal(TaskStatus s);
@@ -44,6 +46,10 @@ struct Task {
   Time startTime = -1;   ///< when execution began
   Time finishTime = -1;  ///< when execution finished (or the task was dropped)
   int deferrals = 0;     ///< how many mapping events deferred this task
+  /// How many machine failures this task has absorbed (aborted mid-run or
+  /// orphaned from a dead machine's queue).  Drives the retry policy's
+  /// max-attempts / backoff arithmetic and the failed-then-met metric.
+  int failures = 0;
 
   bool missedDeadline(Time now) const { return now > deadline; }
 };

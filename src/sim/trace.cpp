@@ -14,6 +14,12 @@ std::string_view toString(TraceEventKind kind) {
     case TraceEventKind::DroppedReactive: return "DroppedReactive";
     case TraceEventKind::DroppedProactive: return "DroppedProactive";
     case TraceEventKind::Aborted: return "Aborted";
+    case TraceEventKind::MachineFailed: return "MachineFailed";
+    case TraceEventKind::MachineRecovered: return "MachineRecovered";
+    case TraceEventKind::TaskFailed: return "TaskFailed";
+    case TraceEventKind::Retried: return "Retried";
+    case TraceEventKind::Abandoned: return "Abandoned";
+    case TraceEventKind::Rejected: return "Rejected";
   }
   return "Unknown";
 }

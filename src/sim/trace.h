@@ -21,6 +21,12 @@ enum class TraceEventKind {
   DroppedReactive,   ///< evicted: deadline already passed
   DroppedProactive,  ///< evicted: chance of success below the bar
   Aborted,           ///< running task cut off at its deadline
+  MachineFailed,     ///< machine went offline (task = kInvalidTask)
+  MachineRecovered,  ///< machine rejoined the cluster (task = kInvalidTask)
+  TaskFailed,        ///< task lost to a machine failure (aborted/orphaned)
+  Retried,           ///< failed task rescheduled into the arrival stream
+  Abandoned,         ///< retry policy gave up on the task
+  Rejected,          ///< federation gateway refused admission
 };
 
 std::string_view toString(TraceEventKind kind);

@@ -13,8 +13,9 @@ Usage:
                          [--threshold 0.15]
 
 A missing current artifact is skipped with a warning (benches are optional
-build targets); a missing baseline for a present artifact is reported so the
-baseline gets committed alongside the bench that produces it.
+build targets); a missing baseline for a present artifact is a hard failure —
+every bench that runs must have its baseline committed alongside it, or the
+comparison silently stops guarding that bench.
 """
 
 import argparse
@@ -43,6 +44,12 @@ TRACKED = {
         "n4_round_robin_us_per_task": "lower",
         "n4_max_chance_us_per_task": "lower",
     },
+    # Churn overhead relative to the fault-free run is a machine-stable
+    # ratio; the raw per-task cost backs it up.
+    "BENCH_faults.json": {
+        "churn_overhead_ratio": "lower",
+        "churn_us_per_task": "lower",
+    },
 }
 
 
@@ -68,8 +75,9 @@ def main():
             print(f"skip  {artifact}: not produced in {args.current_dir}")
             continue
         if not os.path.exists(baseline_path):
-            print(f"warn  {artifact}: no committed baseline in "
+            print(f"FAIL  {artifact}: no committed baseline in "
                   f"{args.baseline_dir} — commit one")
+            failures.append(f"{artifact}:missing-baseline")
             continue
         current = load(current_path)
         baseline = load(baseline_path)
@@ -96,8 +104,9 @@ def main():
     if not compared:
         print("no metrics compared — nothing produced or no baselines")
     if failures:
-        print(f"\nbench_compare: {len(failures)} tracked metric(s) regressed "
-              f">{args.threshold * 100:.0f}%: {', '.join(failures)}")
+        print(f"\nbench_compare: {len(failures)} check(s) failed (regression "
+              f">{args.threshold * 100:.0f}% or missing baseline): "
+              f"{', '.join(failures)}")
         return 1
     print(f"\nbench_compare: {compared} tracked metric(s) within threshold")
     return 0

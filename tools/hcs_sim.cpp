@@ -52,6 +52,9 @@ void usage(const char* argv0, std::FILE* out) {
       "    --quiet              suppress progress lines on stderr\n"
       "  expand <scenario.json> [--set ...]  list the expanded grid, no runs\n"
       "  print <scenario.json> [--set ...]   canonical full-form scenario\n"
+      "  validate <scenario.json> [--set ...]  strict-parse and show the\n"
+      "                         resolved config without running; exit 2 with\n"
+      "                         a line-numbered error on schema violations\n"
       "\n"
       "legacy single-experiment flags (no scenario file):\n"
       "  --heuristic NAME   RR|MET|MCT|KPB|MaxChance|MM|MSD|MMU|MaxMin|\n"
@@ -250,6 +253,42 @@ int cmdPrint(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
+int cmdValidate(const char* argv0, int argc, char** argv) {
+  const ScenarioArgs args =
+      parseScenarioArgs(argv0, argc, argv, 2, /*runOptions=*/false);
+  // loadWithOverrides is the full strict parse (unknown keys, types,
+  // ranges, cross-field rules); any ScenarioError propagates to main's
+  // handler, which prints the line-numbered message and exits 2.
+  const exp::ScenarioDoc doc = loadWithOverrides(args);
+  const exp::ScenarioSpec spec = doc.baseSpec();
+  const std::vector<exp::GridPoint> grid = exp::expandGrid(doc);
+  std::fprintf(stderr, "%s: OK\n", args.path.c_str());
+  std::fprintf(stderr,
+               "  name=%s heuristic=%s trials=%zu scale=%g seed=%llu "
+               "grid=%zu\n",
+               spec.name.empty() ? "(unnamed)" : spec.name.c_str(),
+               spec.heuristic.c_str(), spec.trials, spec.scale,
+               static_cast<unsigned long long>(spec.seed), grid.size());
+  if (spec.faults.active()) {
+    std::fprintf(stderr,
+                 "  faults: mtbf=%g mttr=%g max_attempts=%d scripted=%zu\n",
+                 spec.faults.mtbf, spec.faults.mttr, spec.faults.maxAttempts,
+                 spec.faults.events.size());
+  }
+  if (spec.federationEnabled) {
+    std::fprintf(stderr, "  federation: clusters=%zu admission=%s\n",
+                 spec.fedClusters,
+                 std::string(fed::toString(spec.admission.policy)).c_str());
+  }
+  // The resolved canonical document goes to stdout so it can be piped or
+  // diffed; diagnostics above stay on stderr.
+  exp::ScenarioDoc canonical;
+  canonical.base = exp::scenarioSpecToJson(spec);
+  canonical.axes = doc.axes;
+  std::fputs(exp::writeScenarioDoc(canonical).c_str(), stdout);
+  return 0;
+}
+
 // --- Legacy flag mode -------------------------------------------------------
 
 int legacyMain(int argc, char** argv) {
@@ -402,6 +441,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmdRun(argv[0], argc, argv);
     if (command == "expand") return cmdExpand(argv[0], argc, argv);
     if (command == "print") return cmdPrint(argv[0], argc, argv);
+    if (command == "validate") return cmdValidate(argv[0], argc, argv);
   } catch (const std::exception& e) {
     die(e.what());
   }
