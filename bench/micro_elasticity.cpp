@@ -1,0 +1,228 @@
+// Micro-benchmark for the elastic capacity controller: what autoscaling
+// costs on top of the fixed-capacity engine, and that an armed-but-pinned
+// (min == max everywhere) controller costs nothing at all.
+//
+// After the google-benchmark suites, main() verifies the layer's keystone
+// contract — a pinned controller reproduces the fixed-capacity engine
+// exactly — then times a fixed trial against an active queue_bound trial on
+// an oversubscribed stream, writing the comparison to BENCH_elasticity.json.
+// Exits nonzero if the pinned config ever diverges from the plain engine.
+// HCS_ELASTICITY_REPS overrides the best-of repetition count (default 3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/simulation.h"
+#include "exp/experiment.h"
+#include "exp/scenario.h"
+#include "workload/pet_matrix.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace hcs;
+
+const exp::PaperScenario& scenario() {
+  static exp::PaperScenario s;  // the paper's 12-type x 8-machine cluster
+  return s;
+}
+
+/// Base cluster plus parked surplus: types 0 and 1 may scale to 3 machines.
+const workload::BoundExecutionModel& elasticModel() {
+  static const workload::BoundExecutionModel model = [] {
+    std::vector<int> types(
+        static_cast<std::size_t>(scenario().hetero().numMachines()));
+    std::iota(types.begin(), types.end(), 0);
+    types.insert(types.end(), {0, 0, 1, 1});
+    return workload::BoundExecutionModel(scenario().pet(), types);
+  }();
+  return model;
+}
+
+workload::Workload oversubscribedWorkload(std::uint64_t seed) {
+  return workload::Workload::generate(
+      *scenario().pet(),
+      scenario().arrivalSpec(exp::PaperScenario::kRate25k,
+                             workload::ArrivalPattern::Spiky),
+      {}, seed);
+}
+
+core::SimulationConfig baseConfig() {
+  core::SimulationConfig config;
+  config.heuristic = "MM";
+  config.warmupMargin = 0;
+  config.elasticitySeed = exp::elasticitySeedFor(7);
+  return config;
+}
+
+/// Armed but pinned: every machine type bounded at its base count, so the
+/// controller ticks but can never act — the identity case.
+core::SimulationConfig pinnedConfig() {
+  core::SimulationConfig config = baseConfig();
+  config.elasticity.enabled = true;
+  config.elasticity.period = 2.0;
+  config.elasticity.baseMachines =
+      static_cast<std::size_t>(scenario().hetero().numMachines());
+  for (int t = 0; t < scenario().hetero().numMachines(); ++t) {
+    config.elasticity.pool.push_back({t, 1, 1});
+  }
+  return config;
+}
+
+/// Active queue_bound scaling over the expanded cluster.
+core::SimulationConfig elasticConfig() {
+  core::SimulationConfig config = baseConfig();
+  config.elasticity.enabled = true;
+  config.elasticity.policy = sim::ElasticityPolicy::QueueBound;
+  config.elasticity.period = 1.0;
+  config.elasticity.bootLatency = 1.0;
+  config.elasticity.scaleUpQueue = 2.0;
+  config.elasticity.scaleDownQueue = 1.0;
+  config.elasticity.baseMachines =
+      static_cast<std::size_t>(scenario().hetero().numMachines());
+  config.elasticity.pool.push_back({0, 1, 3});
+  config.elasticity.pool.push_back({1, 1, 3});
+  return config;
+}
+
+void BM_FixedCapacity(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = baseConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_PinnedController(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = pinnedConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_ElasticController(benchmark::State& state) {
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const core::SimulationConfig config = elasticConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(elasticModel(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+BENCHMARK(BM_FixedCapacity);
+BENCHMARK(BM_PinnedController);
+BENCHMARK(BM_ElasticController);
+
+double bestOfUs(int reps, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double us = run();
+    if (r == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+double timeTrialUs(int reps, const sim::ExecutionModel& model,
+                   const workload::Workload& wl,
+                   const core::SimulationConfig& config) {
+  return bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const core::TrialResult r = core::Simulation(model, wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+}
+
+int runElasticityComparison() {
+  const char* repsEnv = std::getenv("HCS_ELASTICITY_REPS");
+  const int reps = repsEnv != nullptr ? std::max(1, std::atoi(repsEnv)) : 3;
+  const workload::Workload wl = oversubscribedWorkload(7);
+  const double tasks = static_cast<double>(wl.size());
+
+  hcs::bench::JsonWriter json;
+  json.field("bench", "elasticity").field("heuristic", "MM");
+  json.field("tasks", static_cast<std::uint64_t>(wl.size()));
+
+  // Keystone check: the controller armed with min == max everywhere must
+  // reproduce the fixed-capacity engine exactly (the full trace-level
+  // oracle lives in tests/elasticity_test.cpp; here the digest guards the
+  // bench numbers).
+  const core::TrialResult plain =
+      core::Simulation(scenario().hetero(), wl, baseConfig()).run();
+  const core::TrialResult pinned =
+      core::Simulation(scenario().hetero(), wl, pinnedConfig()).run();
+  bool diverged = false;
+  if (pinned.robustnessPercent != plain.robustnessPercent ||
+      pinned.mappingEvents != plain.mappingEvents ||
+      pinned.makespan != plain.makespan) {
+    std::fprintf(stderr,
+                 "micro_elasticity: pinned controller DIVERGED from the "
+                 "fixed-capacity engine\n");
+    diverged = true;
+  }
+
+  const double fixedUs = timeTrialUs(reps, scenario().hetero(), wl,
+                                     baseConfig());
+  const double pinnedUs = timeTrialUs(reps, scenario().hetero(), wl,
+                                      pinnedConfig());
+  const core::TrialResult elastic =
+      core::Simulation(elasticModel(), wl, elasticConfig()).run();
+  const double elasticUs =
+      timeTrialUs(reps, elasticModel(), wl, elasticConfig());
+  const double ratio = fixedUs > 0.0 ? elasticUs / fixedUs : 0.0;
+
+  std::printf("\nelasticity comparison (MM, 25k-equivalent stream, best of "
+              "%d):\n", reps);
+  std::printf("  fixed capacity:  %8.0f us/trial\n", fixedUs);
+  std::printf("  pinned armed:    %8.0f us/trial (%+.1f%%)\n", pinnedUs,
+              fixedUs > 0.0 ? 100.0 * (pinnedUs - fixedUs) / fixedUs : 0.0);
+  std::printf(
+      "  elastic 1..3x:   %8.0f us/trial (%.2fx, %.3f us/task), "
+      "robustness %.1f%%, %llu ups, %llu downs, %.0f machine-seconds "
+      "(%.1f%% utilized)\n",
+      elasticUs, ratio, elasticUs / tasks, elastic.robustnessPercent,
+      static_cast<unsigned long long>(elastic.metrics.scaleUps()),
+      static_cast<unsigned long long>(elastic.metrics.scaleDowns()),
+      elastic.metrics.onlineMachineSeconds(),
+      elastic.metrics.utilizationPercent());
+
+  json.field("fixed_trial_us", fixedUs);
+  json.field("pinned_trial_us", pinnedUs);
+  json.field("elastic_trial_us", elasticUs);
+  json.field("elastic_overhead_ratio", ratio);
+  json.field("elastic_us_per_task", elasticUs / tasks);
+  json.field("elastic_robustness", elastic.robustnessPercent);
+  json.field("elastic_scale_ups",
+             static_cast<std::uint64_t>(elastic.metrics.scaleUps()));
+  json.field("elastic_scale_downs",
+             static_cast<std::uint64_t>(elastic.metrics.scaleDowns()));
+  json.field("elastic_machine_seconds",
+             elastic.metrics.onlineMachineSeconds());
+  json.field("elastic_utilization_pct", elastic.metrics.utilizationPercent());
+
+  json.write("BENCH_elasticity.json");
+  return diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runElasticityComparison();
+}

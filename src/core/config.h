@@ -10,6 +10,7 @@
 
 #include "heuristics/registry.h"
 #include "pruning/config.h"
+#include "sim/elasticity.h"
 #include "sim/faults.h"
 #include "sim/trace.h"
 
@@ -84,6 +85,16 @@ struct SimulationConfig {
   /// seed-paired with their fault-free twins; exp::faultSeedFor derives it
   /// per trial.
   std::uint64_t faultSeed = 0xfa017;
+
+  /// Elastic capacity control (sim/elasticity.h).  Inactive configs — the
+  /// default — arm no controller and leave the engine byte-identical to
+  /// the fixed-capacity build.
+  sim::ElasticityConfig elasticity;
+
+  /// Seed of the controller's reserved RNG stream.  Independent of the
+  /// execution and fault seeds so elastic runs stay seed-paired with their
+  /// fixed-capacity twins; exp::elasticitySeedFor derives it per trial.
+  std::uint64_t elasticitySeed = 0xe1a5;
 
   /// Where a failed task's retry re-enters the system.  Unset (the
   /// single-cluster default), the scheduler pushes a TaskArrival event at

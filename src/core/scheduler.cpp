@@ -131,9 +131,11 @@ void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
     const heuristics::MappingContext ctx = makeContext(world, now);
     machine = immediate_->selectMachine(ctx, task);
   }
-  if (machine == sim::kInvalidMachine && config_.faults.enabled) {
-    // Churn left no online machine to place on: a placement failure,
-    // routed through the retry policy like any other churn casualty.
+  if (machine == sim::kInvalidMachine &&
+      (config_.faults.enabled || config_.elasticity.active())) {
+    // Churn (or an elastic scale-down racing the arrival) left no machine
+    // accepting work: a placement failure, routed through the retry policy
+    // like any other churn casualty.
     emit(now, sim::TraceEventKind::TaskFailed, task);
     retryOrAbandon(world, task, now);
     return;
@@ -210,6 +212,11 @@ void Scheduler::handleMachineRecovery(World& world, sim::MachineId machine,
   emit(now, sim::TraceEventKind::MachineRecovered, sim::kInvalidTask, machine);
   // Recovered capacity is claimable this very event: batch mode remaps and
   // the idle machine can start the surviving head of whatever it is given.
+  mappingEvent(world, now);
+}
+
+void Scheduler::handleCapacityChanged(World& world, sim::Time now) {
+  if (!trialPrepared_) beginTrial(world);
   mappingEvent(world, now);
 }
 
@@ -513,7 +520,7 @@ double Scheduler::deferChance(World& world,
 bool Scheduler::anyFreeSlot(const World& world) const {
   const std::size_t capacity = config_.machineQueueCapacity;
   for (const sim::Machine& m : world.machines) {
-    if (!m.online()) continue;
+    if (!m.acceptsWork()) continue;
     if (m.queueLength() + (m.busy() ? 1u : 0u) < capacity) return true;
   }
   return false;

@@ -98,6 +98,25 @@ class Scheduler {
   void handleMachineRecovery(World& world, sim::MachineId machine,
                              sim::Time now);
 
+  /// The capacity controller changed the set of machines accepting work
+  /// (a boot completed, or a drain was cancelled): run a mapping event so
+  /// waiting tasks can claim the new capacity at once.  Drains and
+  /// retirements deliberately do NOT call this — a machine that stops
+  /// accepting work only shrinks the candidate set, and the next natural
+  /// mapping event prices that in (no-op controller ticks must cost the
+  /// fixed-capacity engine nothing).
+  void handleCapacityChanged(World& world, sim::Time now);
+
+  /// Oldest live task in the batch (arrival) queue, kInvalidTask when
+  /// empty — the chance_slo controller policy's observation point.
+  sim::TaskId batchQueueHead() const {
+    sim::TaskId head = sim::kInvalidTask;
+    batchQueue_.forEachLive([&](sim::TaskId id, std::uint64_t /*seq*/) {
+      if (head == sim::kInvalidTask) head = id;
+    });
+    return head;
+  }
+
   /// Drains bookkeeping after the last event (e.g. tasks still waiting in
   /// the batch queue when the trial ends count as reactive drops if they
   /// are overdue and proactive drops otherwise: they can no longer meet any

@@ -3,9 +3,39 @@
 #include <optional>
 #include <stdexcept>
 
+#include "heuristics/context.h"
+#include "sim/elasticity.h"
 #include "sim/faults.h"
 
 namespace hcs::core {
+
+namespace {
+
+/// Trace every machine transition one controller tick produced.
+void emitCapacityTraces(const sim::TraceSink& sink,
+                        const sim::CapacityDelta& delta, sim::Time now) {
+  if (!sink) return;
+  const auto emit = [&](sim::TraceEventKind kind, sim::MachineId m) {
+    sink(sim::TraceEvent{now, kind, sim::kInvalidTask, m});
+  };
+  for (sim::MachineId m : delta.drained) {
+    emit(sim::TraceEventKind::MachineDraining, m);
+  }
+  for (sim::MachineId m : delta.reclaimed) {
+    emit(sim::TraceEventKind::DrainCancelled, m);
+  }
+  for (sim::MachineId m : delta.booting) {
+    emit(sim::TraceEventKind::MachineBooting, m);
+  }
+  for (sim::MachineId m : delta.bootsCancelled) {
+    emit(sim::TraceEventKind::BootCancelled, m);
+  }
+  for (sim::MachineId m : delta.retired) {
+    emit(sim::TraceEventKind::MachineRetired, m);
+  }
+}
+
+}  // namespace
 
 Simulation::Simulation(const sim::ExecutionModel& model,
                        const workload::Workload& workload,
@@ -43,6 +73,21 @@ TrialResult Simulation::run() {
   Scheduler scheduler(config_, model_.numTaskTypes());
   World world{pool, machines, events, metrics, execRng, model_};
 
+  // The capacity controller arms first: its surplus slots park (go offline)
+  // at t = 0 BEFORE the fault injector scans the fleet, so parked capacity
+  // gets no failure process — exactly like initially-offline machines.  An
+  // inactive config arms nothing and the trial is byte-identical to the
+  // fixed-capacity engine.
+  std::optional<sim::CapacityController> controller;
+  if (config_.elasticity.active()) {
+    controller.emplace(config_.elasticity, config_.elasticitySeed, model_,
+                       machines.size(),
+                       batchMode ? config_.machineQueueCapacity
+                                 : heuristics::MappingContext::kUnbounded,
+                       config_.pctCacheEnabled);
+    controller->beginTrial(events, machines, pool);
+  }
+
   // Fault injection arms AFTER the arrivals are pushed, so arrivals keep
   // the lower sequence numbers (and win time ties); an inactive config
   // schedules nothing and the trial is byte-identical to the fault-free
@@ -54,21 +99,59 @@ TrialResult Simulation::run() {
     injector->beginTrial(events, machines, pool, model_);
   }
   scheduler.beginTrial(world);
+  sim::FaultInjector* injectorPtr =
+      injector.has_value() ? &*injector : nullptr;
+
+  // After a completion or recovery, a draining machine may have emptied —
+  // the drain is done and the machine retires.
+  const auto maybeRetire = [&](sim::MachineId machine, sim::Time when) {
+    if (!controller.has_value()) return;
+    if (controller->maybeRetire(events, machines, pool, machine, when,
+                                injectorPtr) &&
+        config_.traceSink) {
+      config_.traceSink(sim::TraceEvent{when, sim::TraceEventKind::MachineRetired,
+                                        sim::kInvalidTask, machine});
+    }
+  };
 
   // With churn active, the stochastic fail/repair process re-arms on every
   // transition and would keep the queue populated forever; the trial is
   // over once every task reached a terminal state (no task events can be
   // pending then — only fault events, which no longer matter).
   const std::size_t totalTasks = pool.size();
+  std::size_t arrivalsSeen = 0;
+  // Ticks re-arm forever, so an elastic trial can not rely on queue
+  // exhaustion.  A tick popping after the last arrival, with every machine
+  // idle and empty and no boot in flight, can never change a task's fate
+  // again (the only survivors are deferred batch-queue leftovers, which the
+  // finalize pass sweeps exactly like the fixed engine): break BEFORE
+  // processing it, so `now` — and with it makespan, machine-seconds, and
+  // the finalize trace timestamps — stays at the last task event and the
+  // min == max identity oracle holds.  Fault injectors opt out: their
+  // recovery-driven mapping events can still resolve stuck tasks.
+  const auto taskQuiescent = [&]() {
+    if (arrivalsSeen < totalTasks) return false;
+    if (controller->hasPendingBoot()) return false;
+    for (const sim::Machine& m : machines) {
+      if (m.busy() || m.queueLength() > 0) return false;
+    }
+    return true;
+  };
   sim::Time now = 0;
   while (auto event = events.tryPop()) {
+    if (event->kind == sim::EventKind::ControllerTick &&
+        !injector.has_value() && taskQuiescent()) {
+      break;
+    }
     now = event->time;
     switch (event->kind) {
       case sim::EventKind::TaskArrival:
+        ++arrivalsSeen;
         scheduler.handleArrival(world, event->task, now);
         break;
       case sim::EventKind::TaskCompletion:
         scheduler.handleCompletion(world, event->machine, event->task, now);
+        maybeRetire(event->machine, now);
         break;
       case sim::EventKind::MachineFailure:
       case sim::EventKind::MachineRecovery: {
@@ -79,15 +162,64 @@ TrialResult Simulation::run() {
           scheduler.handleMachineFailure(world, event->machine, now);
         } else if (action == sim::FaultInjector::Action::Recover) {
           scheduler.handleMachineRecovery(world, event->machine, now);
+          // A machine that failed while draining recovers empty and still
+          // draining: the drain completes on the spot.
+          maybeRetire(event->machine, now);
+        }
+        break;
+      }
+      case sim::EventKind::ControllerTick: {
+        sim::LoadSignal signal;
+        signal.tasksInSystem = scheduler.batchQueueLength();
+        for (const sim::Machine& m : machines) {
+          signal.tasksInSystem += m.queueLength() + (m.busy() ? 1u : 0u);
+        }
+        if (controller->needsHeadTask()) {
+          signal.headTask = scheduler.batchQueueHead();
+        }
+        const sim::CapacityDelta delta = controller->onTick(
+            events, machines, pool, signal, metrics, now, injectorPtr);
+        emitCapacityTraces(config_.traceSink, delta, now);
+        // Only *added accepting capacity* warrants a mapping event — drains
+        // and retirements shrink the candidate set and the next natural
+        // event prices that in.  No-op ticks must not touch the scheduler
+        // at all (the min == max identity oracle).
+        if (delta.capacityAdded()) {
+          scheduler.handleCapacityChanged(world, now);
+        }
+        break;
+      }
+      case sim::EventKind::CapacityOnline: {
+        const bool accepting = controller->onCapacityOnline(
+            events, *event, machines, pool, now, injectorPtr);
+        if (accepting) {
+          if (config_.traceSink) {
+            config_.traceSink(sim::TraceEvent{now,
+                                              sim::TraceEventKind::MachineBooted,
+                                              sim::kInvalidTask,
+                                              event->machine});
+          }
+          scheduler.handleCapacityChanged(world, now);
         }
         break;
       }
     }
-    if (injector.has_value() && metrics.terminalCount() == totalTasks) {
+    if ((injector.has_value() || controller.has_value()) &&
+        metrics.terminalCount() == totalTasks) {
       break;
     }
   }
   scheduler.finalize(world, now);
+
+  // Machine-seconds cost accounting, recorded for every trial (elastic or
+  // fixed) so the utilization/cost report columns always mean the same
+  // thing: time integrated against *online* capacity, not wall clock.
+  for (std::size_t j = 0; j < machines.size(); ++j) {
+    const sim::Machine& m = machines[j];
+    metrics.recordMachineSeconds(model_.machineTypeOf(static_cast<int>(j)),
+                                 m.onlineSeconds(now), m.drainingSeconds(now),
+                                 m.busyTime());
+  }
 
   TrialResult result{.metrics = std::move(metrics),
                      .robustnessPercent = 0.0,

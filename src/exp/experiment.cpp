@@ -23,6 +23,16 @@ std::uint64_t faultSeedFor(std::uint64_t workloadSeed) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t elasticitySeedFor(std::uint64_t workloadSeed) {
+  // Same splitmix64 scramble shape as the fault stream, with its own
+  // increment, so the controller's reserved stream is independent of the
+  // workload, execution, and fault streams of the same trial.
+  std::uint64_t z = workloadSeed + 0x7f4a7c159e3779b9ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 TrialRunner::TrialRunner(const workload::BoundExecutionModel& model,
                          const ExperimentSpec& spec)
     : model_(&model), spec_(&spec) {}
@@ -35,6 +45,7 @@ core::TrialResult TrialRunner::runTrial(std::size_t trial) const {
   core::SimulationConfig simConfig = spec_->sim;
   simConfig.executionSeed = executionSeedFor(workloadSeed);
   simConfig.faultSeed = faultSeedFor(workloadSeed);
+  simConfig.elasticitySeed = elasticitySeedFor(workloadSeed);
 
   return core::Simulation(*model_, wl, simConfig).run();
 }
@@ -71,6 +82,10 @@ ExperimentResult aggregateTrialResults(
     }
     result.machineFailures.add(
         static_cast<double>(tr.metrics.machineFailures()));
+    result.utilizationPct.add(tr.metrics.utilizationPercent());
+    result.machineSeconds.add(tr.metrics.onlineMachineSeconds());
+    result.scaleUps.add(static_cast<double>(tr.metrics.scaleUps()));
+    result.scaleDowns.add(static_cast<double>(tr.metrics.scaleDowns()));
     double utilization = 0.0;
     for (double u : tr.machineUtilization) utilization += u;
     if (!tr.machineUtilization.empty()) {

@@ -50,6 +50,13 @@ struct ExperimentResult {
   stats::RunningStats failedThenMetPct; ///< survived >=1 failure AND met
   stats::RunningStats machineFailures;  ///< failure transitions per trial
 
+  // Capacity-cost outcomes (meaningful for every trial; the elastic knobs
+  // move them, fixed capacity just reports the flat baseline).
+  stats::RunningStats utilizationPct;   ///< busy / *online* machine-seconds
+  stats::RunningStats machineSeconds;   ///< online machine-seconds (cost)
+  stats::RunningStats scaleUps;         ///< controller scale-up actions
+  stats::RunningStats scaleDowns;       ///< controller scale-down actions
+
   double robustnessMean() const { return robustnessCi.mean; }
 };
 
@@ -99,5 +106,12 @@ std::uint64_t executionSeedFor(std::uint64_t workloadSeed);
 /// and execution samples as its fault-free twin — the seed-pairing contract
 /// the robustness sweeps rely on.
 std::uint64_t faultSeedFor(std::uint64_t workloadSeed);
+
+/// The per-trial ELASTICITY-stream seed, again from the same workload seed
+/// through its own mix.  The controller's reserved RNG draws nothing in the
+/// shipped (deterministic) policies, but the stream exists and is derived
+/// here so a future stochastic policy cannot be tempted to tap the
+/// execution or fault streams and break seed pairing.
+std::uint64_t elasticitySeedFor(std::uint64_t workloadSeed);
 
 }  // namespace hcs::exp

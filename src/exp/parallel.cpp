@@ -8,6 +8,17 @@
 
 namespace hcs::exp {
 
+namespace {
+/// Test-only replacement for worker-thread creation (see
+/// setSpawnHookForTesting).
+std::thread (*g_spawnHook)(const std::function<void()>&) = nullptr;
+}  // namespace
+
+void ParallelExecutor::setSpawnHookForTesting(
+    std::thread (*hook)(const std::function<void()>&)) {
+  g_spawnHook = hook;
+}
+
 std::size_t resolveJobs(std::size_t jobs) {
   if (jobs != 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -47,14 +58,19 @@ void ParallelExecutor::run(std::size_t n,
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
   try {
-    for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(worker);
+    for (std::size_t w = 1; w < workers; ++w) {
+      if (g_spawnHook != nullptr) {
+        threads.emplace_back(g_spawnHook(worker));
+      } else {
+        threads.emplace_back(worker);
+      }
+    }
   } catch (...) {
-    // A thread failed to spawn (resource limits): drain the queue so the
-    // already-running workers exit, join them, and surface the error
-    // instead of letting ~thread() call std::terminate.
-    next.store(n, std::memory_order_relaxed);
-    for (std::thread& t : threads) t.join();
-    throw;
+    // A thread failed to spawn (resource limits).  Degrade instead of
+    // aborting the experiment: the calling thread plus however many
+    // workers DID spawn drain the same fetch-add queue, so every slot is
+    // still filled and the trial-order merge stays byte-identical to the
+    // serial path — only wall-clock suffers.
   }
   worker();
   for (std::thread& t : threads) t.join();

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <thread>
 
 namespace hcs::exp {
 
@@ -31,6 +32,13 @@ class ParallelExecutor {
   /// serial path.  If any fn(i) throws, the exception for the smallest
   /// such i is rethrown after the join (deterministic error reporting).
   void run(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// Test seam: replaces worker-thread creation inside run() (throw from
+  /// the hook to simulate resource exhaustion and exercise the degraded
+  /// path).  Pass nullptr to restore the real std::thread path.  Not
+  /// thread-safe; tests only.
+  static void setSpawnHookForTesting(
+      std::thread (*hook)(const std::function<void()>&));
 
  private:
   std::size_t jobs_;

@@ -118,6 +118,18 @@ Table experimentMetricsTable(const ExperimentResult& result) {
   table.addRow({"machine failures per trial",
                 formatCi(stats::meanConfidenceInterval(
                     result.machineFailures), 2)});
+  table.addRow({"utilization % (of online)",
+                formatCi(stats::meanConfidenceInterval(
+                    result.utilizationPct))});
+  table.addRow({"machine-seconds (online)",
+                formatCi(stats::meanConfidenceInterval(
+                    result.machineSeconds))});
+  table.addRow({"scale-ups per trial",
+                formatCi(stats::meanConfidenceInterval(
+                    result.scaleUps), 2)});
+  table.addRow({"scale-downs per trial",
+                formatCi(stats::meanConfidenceInterval(
+                    result.scaleDowns), 2)});
   return table;
 }
 
@@ -156,6 +168,14 @@ constexpr MetricColumn kMetrics[] = {
      [](const ExperimentResult& r) { return ciOf(r.failedThenMetPct); }},
     {"machine_failures",
      [](const ExperimentResult& r) { return ciOf(r.machineFailures); }},
+    {"utilization_pct",
+     [](const ExperimentResult& r) { return ciOf(r.utilizationPct); }},
+    {"machine_seconds",
+     [](const ExperimentResult& r) { return ciOf(r.machineSeconds); }},
+    {"scale_ups",
+     [](const ExperimentResult& r) { return ciOf(r.scaleUps); }},
+    {"scale_downs",
+     [](const ExperimentResult& r) { return ciOf(r.scaleDowns); }},
 };
 
 void emitTable(std::ostream& out, const Table& table, bool csv) {

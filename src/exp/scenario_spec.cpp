@@ -548,6 +548,171 @@ void parseFederation(const JsonValue& json, ScenarioSpec& spec) {
   }
 }
 
+/// Shared knob reader for the base `elasticity` block and each entry of
+/// `elasticity.cluster_overrides` (an override starts from a copy of the
+/// base config, so every key is optional in both).  Range checks mirror
+/// ElasticityConfig::validate() but carry source lines.
+void parseElasticityKnobs(const JsonValue& json, Fields& f,
+                          const std::string& ctx, sim::ElasticityConfig& ec,
+                          const ScenarioSpec& spec) {
+  const auto key = [&ctx](const char* k) { return ctx + "." + k; };
+  if (const auto* v = f.get("enabled")) {
+    ec.enabled = getBool(*v, key("enabled").c_str());
+  }
+  if (const auto* v = f.get("policy")) {
+    const std::string name = getString(*v, key("policy").c_str());
+    if (name == "queue_bound") {
+      ec.policy = sim::ElasticityPolicy::QueueBound;
+    } else if (name == "target_utilization") {
+      ec.policy = sim::ElasticityPolicy::TargetUtilization;
+    } else if (name == "chance_slo") {
+      ec.policy = sim::ElasticityPolicy::ChanceSlo;
+    } else {
+      fail(*v, key("policy") + ": unknown policy \"" + name +
+                   "\" (queue_bound|target_utilization|chance_slo)");
+    }
+  }
+  if (const auto* v = f.get("period")) {
+    ec.period = getPositive(*v, key("period").c_str());
+  }
+  if (const auto* v = f.get("boot_latency")) {
+    ec.bootLatency = getNumber(*v, key("boot_latency").c_str());
+    if (ec.bootLatency < 0.0) fail(*v, key("boot_latency") + ": must be >= 0");
+  }
+  if (const auto* v = f.get("step")) {
+    ec.step = getPositiveInt(*v, key("step").c_str());
+  }
+  if (const auto* v = f.get("scale_up_queue")) {
+    ec.scaleUpQueue = getPositive(*v, key("scale_up_queue").c_str());
+  }
+  if (const auto* v = f.get("scale_down_queue")) {
+    ec.scaleDownQueue = getNumber(*v, key("scale_down_queue").c_str());
+    if (ec.scaleDownQueue < 0.0) {
+      fail(*v, key("scale_down_queue") + ": must be >= 0");
+    }
+  }
+  if (const auto* v = f.get("setpoint")) {
+    ec.setpoint = getNumber(*v, key("setpoint").c_str());
+    if (!(ec.setpoint > 0.0 && ec.setpoint < 1.0)) {
+      fail(*v, key("setpoint") + ": must be in (0, 1)");
+    }
+  }
+  if (const auto* v = f.get("ewma_alpha")) {
+    ec.ewmaAlpha = getNumber(*v, key("ewma_alpha").c_str());
+    if (!(ec.ewmaAlpha > 0.0 && ec.ewmaAlpha <= 1.0)) {
+      fail(*v, key("ewma_alpha") + ": must be in (0, 1]");
+    }
+  }
+  if (const auto* v = f.get("deadband")) {
+    ec.deadband = getNumber(*v, key("deadband").c_str());
+    if (ec.deadband < 0.0) fail(*v, key("deadband") + ": must be >= 0");
+  }
+  if (const auto* v = f.get("chance_threshold")) {
+    ec.chanceThreshold = getFraction(*v, key("chance_threshold").c_str());
+  }
+  if (const auto* v = f.get("pool")) {
+    if (!v->isArray() || v->array().empty()) {
+      fail(*v, key("pool") + ": expected a non-empty array of "
+                             "{machine_type, min, max}");
+    }
+    const std::string poolCtx = key("pool");
+    ec.pool.clear();
+    for (const JsonValue& item : v->array()) {
+      Fields g(item, poolCtx.c_str());
+      sim::ElasticGroup group;
+      const auto* type = g.get("machine_type");
+      if (type == nullptr) {
+        fail(item, poolCtx + ": missing \"machine_type\"");
+      }
+      group.machineType = static_cast<int>(
+          getCount(*type, (poolCtx + ".machine_type").c_str()));
+      // "pet" parses before "elasticity", so the PET column count is final.
+      if (group.machineType >= spec.synthesis.numMachineTypes) {
+        fail(*type, poolCtx + ": machine type " +
+                        std::to_string(group.machineType) +
+                        " out of range (PET has " +
+                        std::to_string(spec.synthesis.numMachineTypes) +
+                        " machine types)");
+      }
+      if (const auto* lo = g.get("min")) {
+        group.minMachines = getPositiveInt(*lo, (poolCtx + ".min").c_str());
+      }
+      const auto* hi = g.get("max");
+      if (hi == nullptr) fail(item, poolCtx + ": missing \"max\"");
+      group.maxMachines = getPositiveInt(*hi, (poolCtx + ".max").c_str());
+      if (group.maxMachines < group.minMachines) {
+        fail(*hi, poolCtx + ".max: must be >= min");
+      }
+      g.done();
+      for (const sim::ElasticGroup& other : ec.pool) {
+        if (other.machineType == group.machineType) {
+          fail(item, poolCtx + ": duplicate entry for machine type " +
+                         std::to_string(group.machineType));
+        }
+      }
+      ec.pool.push_back(group);
+    }
+  }
+  // Cross-field bands, at the block with its line.
+  if (ec.scaleUpQueue <= ec.scaleDownQueue) {
+    fail(json, ctx + ": need scale_down_queue < scale_up_queue "
+                     "(the hysteresis band)");
+  }
+  if (ec.setpoint - ec.deadband <= 0.0 || ec.setpoint + ec.deadband >= 1.0) {
+    fail(json, ctx + ": deadband must keep setpoint +/- deadband inside "
+                     "(0, 1)");
+  }
+  if (ec.enabled && ec.pool.empty()) {
+    fail(json, ctx + ": enabled requires a non-empty pool");
+  }
+}
+
+void parseElasticity(const JsonValue& json, ScenarioSpec& spec) {
+  Fields f(json, "elasticity");
+  parseElasticityKnobs(json, f, "elasticity", spec.elasticity, spec);
+  if (const auto* v = f.get("cluster_overrides")) {
+    if (!v->isArray() || v->array().empty()) {
+      fail(*v, "elasticity.cluster_overrides: expected a non-empty array");
+    }
+    if (!spec.federationEnabled) {
+      fail(*v, "elasticity.cluster_overrides: requires federation.enabled "
+               "(overrides are per federation cluster)");
+    }
+    spec.elasticityOverrides.clear();
+    for (const JsonValue& item : v->array()) {
+      Fields o(item, "elasticity.cluster_overrides");
+      ScenarioSpec::ElasticityOverride ov;
+      // Start from the fully-parsed base block; override keys refine it.
+      ov.config = spec.elasticity;
+      const auto* cl = o.get("cluster");
+      if (cl == nullptr) {
+        fail(item, "elasticity.cluster_overrides: missing \"cluster\"");
+      }
+      ov.cluster = getCount(*cl, "elasticity.cluster_overrides.cluster");
+      // "federation" parses before "elasticity": fedClusters is final here.
+      if (ov.cluster >= spec.fedClusters) {
+        fail(*cl, "elasticity.cluster_overrides.cluster: cluster " +
+                      std::to_string(ov.cluster) +
+                      " out of range (federation has " +
+                      std::to_string(spec.fedClusters) + " clusters)");
+      }
+      for (const ScenarioSpec::ElasticityOverride& prev :
+           spec.elasticityOverrides) {
+        if (prev.cluster == ov.cluster) {
+          fail(*cl, "elasticity.cluster_overrides: duplicate entry for "
+                    "cluster " +
+                        std::to_string(ov.cluster));
+        }
+      }
+      parseElasticityKnobs(item, o, "elasticity.cluster_overrides", ov.config,
+                           spec);
+      o.done();
+      spec.elasticityOverrides.push_back(std::move(ov));
+    }
+  }
+  f.done();
+}
+
 void parseRun(const JsonValue& json, ScenarioSpec& spec) {
   Fields run(json, "run");
   if (const auto* v = run.get("trials")) {
@@ -577,6 +742,89 @@ void parseRun(const JsonValue& json, ScenarioSpec& spec) {
   run.done();
 }
 
+/// A bound cluster's machine → PET-machine-type map, as the elasticity
+/// expansion consumes it.
+std::vector<int> machineTypesOf(const workload::BoundExecutionModel& model) {
+  std::vector<int> types;
+  types.reserve(static_cast<std::size_t>(model.numMachines()));
+  for (int j = 0; j < model.numMachines(); ++j) {
+    types.push_back(model.machineTypeOf(j));
+  }
+  return types;
+}
+
+/// Resolves one cluster's controller config against its base shape: fills
+/// baseMachines, validates that the base count of every pooled type sits
+/// inside [min, max], and appends the parked surplus (max - base count per
+/// group) to `expandedTypes` — so machine ids 0..B-1 stay exactly the
+/// fixed-capacity cluster.
+sim::ElasticityConfig resolveElasticity(const sim::ElasticityConfig& base,
+                                        const std::vector<int>& baseTypes,
+                                        int numMachineTypes,
+                                        std::vector<int>& expandedTypes,
+                                        const std::string& what) {
+  sim::ElasticityConfig resolved = base;
+  resolved.baseMachines = baseTypes.size();
+  expandedTypes = baseTypes;
+  for (const sim::ElasticGroup& g : base.pool) {
+    if (g.machineType >= numMachineTypes) {
+      throw ScenarioError(what + ".pool: machine type " +
+                          std::to_string(g.machineType) +
+                          " out of range (PET has " +
+                          std::to_string(numMachineTypes) +
+                          " machine types)");
+    }
+    int count = 0;
+    for (int t : baseTypes) {
+      if (t == g.machineType) ++count;
+    }
+    if (count < g.minMachines || count > g.maxMachines) {
+      throw ScenarioError(
+          what + ".pool: the base cluster has " + std::to_string(count) +
+          " machines of type " + std::to_string(g.machineType) +
+          ", outside the pool bounds [" + std::to_string(g.minMachines) +
+          ", " + std::to_string(g.maxMachines) + "]");
+    }
+    for (int i = count; i < g.maxMachines; ++i) {
+      expandedTypes.push_back(g.machineType);
+    }
+  }
+  resolved.validate();
+  return resolved;
+}
+
+/// Canonical serialization of one controller config (shared by the base
+/// block and each cluster override — overrides emit every key, which is why
+/// the parse side may start them from a base copy and still round-trip).
+JsonValue elasticityBlock(const sim::ElasticityConfig& ec) {
+  JsonValue e = JsonValue::makeObject();
+  e.set("enabled", ec.enabled);
+  e.set("policy", std::string(sim::toString(ec.policy)));
+  e.set("period", ec.period);
+  e.set("boot_latency", ec.bootLatency);
+  e.set("step", ec.step);
+  e.set("scale_up_queue", ec.scaleUpQueue);
+  e.set("scale_down_queue", ec.scaleDownQueue);
+  e.set("setpoint", ec.setpoint);
+  e.set("ewma_alpha", ec.ewmaAlpha);
+  e.set("deadband", ec.deadband);
+  e.set("chance_threshold", ec.chanceThreshold);
+  // Emitted only when non-empty: absent parses to empty, matching the
+  // faults.events convention.
+  if (!ec.pool.empty()) {
+    JsonValue pool = JsonValue::makeArray();
+    for (const sim::ElasticGroup& g : ec.pool) {
+      JsonValue entry = JsonValue::makeObject();
+      entry.set("machine_type", g.machineType);
+      entry.set("min", g.minMachines);
+      entry.set("max", g.maxMachines);
+      pool.append(std::move(entry));
+    }
+    e.set("pool", std::move(pool));
+  }
+  return e;
+}
+
 }  // namespace
 
 ScenarioSpec parseScenarioSpec(const JsonValue& json) {
@@ -592,6 +840,7 @@ ScenarioSpec parseScenarioSpec(const JsonValue& json) {
   if (const auto* v = top.get("sim")) parseSim(*v, spec);
   if (const auto* v = top.get("faults")) parseFaults(*v, spec);
   if (const auto* v = top.get("federation")) parseFederation(*v, spec);
+  if (const auto* v = top.get("elasticity")) parseElasticity(*v, spec);
   const JsonValue* admissionBlock = top.get("admission");
   if (admissionBlock != nullptr) parseAdmission(*admissionBlock, spec);
   if (const auto* v = top.get("run")) parseRun(*v, spec);
@@ -771,6 +1020,19 @@ util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
   }
   root.set("federation", std::move(federation));
 
+  JsonValue elasticity = elasticityBlock(spec.elasticity);
+  if (!spec.elasticityOverrides.empty()) {
+    JsonValue overrides = JsonValue::makeArray();
+    for (const ScenarioSpec::ElasticityOverride& ov :
+         spec.elasticityOverrides) {
+      JsonValue o = elasticityBlock(ov.config);
+      o.set("cluster", ov.cluster);
+      overrides.append(std::move(o));
+    }
+    elasticity.set("cluster_overrides", std::move(overrides));
+  }
+  root.set("elasticity", std::move(elasticity));
+
   JsonValue run = JsonValue::makeObject();
   run.set("trials", spec.trials);
   run.set("jobs", spec.jobs);
@@ -915,6 +1177,53 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
   sim.incrementalMappingEnabled = spec.incrementalMappingEnabled;
   sim.faults = spec.faults;
   sim.faults.validate();
+
+  // --- elasticity binding ---
+  // Runs LAST on purpose: the bursty arrival calibration above reads the
+  // BASE cluster's capacity, so elastic and fixed-capacity variants of one
+  // scenario see the identical workload (the frontier comparison depends
+  // on it).  Parked surplus slots are appended after the base shape, so
+  // machine ids 0..B-1 stay exactly the fixed-capacity cluster.
+  if (!spec.federationEnabled && spec.elasticity.active()) {
+    std::vector<int> expanded;
+    sim.elasticity =
+        resolveElasticity(spec.elasticity, machineTypesOf(*bound.model),
+                          spec.synthesis.numMachineTypes, expanded,
+                          "elasticity");
+    if (expanded.size() > sim.elasticity.baseMachines) {
+      bound.customModel = std::make_unique<workload::BoundExecutionModel>(
+          paper->pet(), expanded);
+      bound.model = bound.customModel.get();
+    }
+  } else if (spec.federationEnabled &&
+             (spec.elasticity.active() || !spec.elasticityOverrides.empty())) {
+    // Per-cluster resolution: an override replaces the base block for its
+    // cluster; every cluster gets its own expanded model and a
+    // fully-resolved FederationSpec.clusterElasticity entry (the engine
+    // then never consults the shared SimulationConfig block).
+    for (std::size_t c = 0; c < spec.fedClusters; ++c) {
+      const sim::ElasticityConfig* src = &spec.elasticity;
+      for (const ScenarioSpec::ElasticityOverride& ov :
+           spec.elasticityOverrides) {
+        if (ov.cluster == c) src = &ov.config;
+      }
+      if (!src->active()) {
+        bound.federation.clusterElasticity.push_back(*src);
+        continue;
+      }
+      std::vector<int> expanded;
+      sim::ElasticityConfig resolved = resolveElasticity(
+          *src, machineTypesOf(*bound.fedModels[c]),
+          spec.synthesis.numMachineTypes, expanded, "elasticity");
+      if (expanded.size() > resolved.baseMachines) {
+        bound.fedOwned.push_back(
+            std::make_unique<workload::BoundExecutionModel>(paper->pet(),
+                                                            expanded));
+        bound.fedModels[c] = bound.fedOwned.back().get();
+      }
+      bound.federation.clusterElasticity.push_back(std::move(resolved));
+    }
+  }
   return bound;
 }
 

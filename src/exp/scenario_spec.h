@@ -118,6 +118,23 @@ struct ScenarioSpec {
   /// cluster's shape.  When set, must have exactly fedClusters entries.
   std::vector<std::vector<int>> fedClusterShapes;
 
+  // --- elasticity ---
+  /// Elastic capacity control (scenario `elasticity` block).  The default
+  /// (disabled) leaves the engine byte-identical to the fixed-capacity
+  /// build.  `pool` bounds capacity per PET machine type; the bind layer
+  /// expands the cluster with parked surplus slots up to each group's max
+  /// (baseMachines is derived there, never parsed).
+  sim::ElasticityConfig elasticity;
+  /// Fully-resolved per-cluster controller configs (federated scenarios
+  /// only): parsed from `elasticity.cluster_overrides`, each starting from
+  /// the base block with its override keys applied — so serialization
+  /// round-trips without a diff-vs-base merge step.
+  struct ElasticityOverride {
+    std::size_t cluster = 0;
+    sim::ElasticityConfig config;
+  };
+  std::vector<ElasticityOverride> elasticityOverrides;
+
   // --- run ---
   std::size_t trials = 8;
   std::size_t jobs = 1;
@@ -143,7 +160,9 @@ struct BoundScenario {
   /// Owns the PET matrix and the hetero/homo clusters (shared so sweep
   /// grids reuse one synthesis across grid points).
   std::shared_ptr<const PaperScenario> paper;
-  /// Set only for ClusterKind::Custom.
+  /// Set for ClusterKind::Custom, and for elastic scenarios (where the base
+  /// shape is expanded with parked surplus slots up to each pool group's
+  /// max).
   std::unique_ptr<workload::BoundExecutionModel> customModel;
   /// The cluster this scenario runs against (points into paper or
   /// customModel).

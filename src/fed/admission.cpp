@@ -57,8 +57,9 @@ class QueueBoundPolicy final : public AdmissionPolicy {
 };
 
 /// Eq. 2 as the admission criterion: the cluster must offer the task at
-/// least `threshold` chance of on-time completion on one of its *online*
-/// machines.  An all-offline cluster admits nothing.
+/// least `threshold` chance of on-time completion on one of the machines
+/// accepting work (online and not draining).  A cluster with no accepting
+/// machine admits nothing.
 class ChanceThresholdPolicy final : public AdmissionPolicy {
  public:
   explicit ChanceThresholdPolicy(double threshold) : threshold_(threshold) {}
@@ -66,7 +67,7 @@ class ChanceThresholdPolicy final : public AdmissionPolicy {
              sim::Time) override {
     const std::vector<double> chances = cluster.ctx->successChances(task.id);
     for (std::size_t j = 0; j < chances.size(); ++j) {
-      if (!(*cluster.machines)[j].online()) continue;
+      if (!(*cluster.machines)[j].acceptsWork()) continue;
       if (chances[j] >= threshold_) return true;
     }
     return false;

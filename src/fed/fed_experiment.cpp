@@ -27,6 +27,7 @@ exp::ExperimentResult runFederatedExperiment(
     core::SimulationConfig simConfig = spec.sim;
     simConfig.executionSeed = exp::executionSeedFor(workloadSeed);
     simConfig.faultSeed = exp::faultSeedFor(workloadSeed);
+    simConfig.elasticitySeed = exp::elasticitySeedFor(workloadSeed);
 
     std::vector<const sim::ExecutionModel*> clusterModels(models.begin(),
                                                           models.end());

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/elasticity.h"
 #include "sim/faults.h"
 
 namespace hcs::fed {
@@ -37,6 +38,9 @@ struct Cluster {
   /// Per-cluster churn driver (faults active only), on its own
   /// seed-paired stream split from the trial's fault seed.
   std::optional<sim::FaultInjector> injector;
+  /// Per-cluster capacity controller (elasticity active only), again on a
+  /// split seed-paired stream.
+  std::optional<sim::CapacityController> controller;
   std::size_t inFlight = 0;
   std::size_t routed = 0;
   sim::Time lastEvent = 0;
@@ -58,6 +62,31 @@ struct RetryLater {
     return a.at > b.at || (a.at == b.at && a.seq > b.seq);
   }
 };
+
+/// Trace every machine transition one controller tick produced (cluster
+/// sinks already carry the cluster index through the wrapper).
+void emitCapacityTraces(const sim::TraceSink& sink,
+                        const sim::CapacityDelta& delta, sim::Time now) {
+  if (!sink) return;
+  const auto emit = [&](sim::TraceEventKind kind, sim::MachineId m) {
+    sink(sim::TraceEvent{now, kind, sim::kInvalidTask, m});
+  };
+  for (sim::MachineId m : delta.drained) {
+    emit(sim::TraceEventKind::MachineDraining, m);
+  }
+  for (sim::MachineId m : delta.reclaimed) {
+    emit(sim::TraceEventKind::DrainCancelled, m);
+  }
+  for (sim::MachineId m : delta.booting) {
+    emit(sim::TraceEventKind::MachineBooting, m);
+  }
+  for (sim::MachineId m : delta.bootsCancelled) {
+    emit(sim::TraceEventKind::BootCancelled, m);
+  }
+  for (sim::MachineId m : delta.retired) {
+    emit(sim::TraceEventKind::MachineRetired, m);
+  }
+}
 
 }  // namespace
 
@@ -88,6 +117,12 @@ FederatedSimulation::FederatedSimulation(
   if (spec_.dispatchLatency < 0.0) {
     throw std::invalid_argument(
         "FederatedSimulation: dispatch latency must be >= 0");
+  }
+  if (!spec_.clusterElasticity.empty() &&
+      spec_.clusterElasticity.size() != spec_.clusters) {
+    throw std::invalid_argument(
+        "FederatedSimulation: clusterElasticity must have one entry per "
+        "cluster (or none)");
   }
   spec_.admission.validate();
 }
@@ -120,6 +155,7 @@ FederatedTrialResult FederatedSimulation::run() {
       retries;
   std::uint64_t retrySeq = 0;
   const bool faultsActive = config_.faults.active();
+  bool controllersActive = false;
   const bool admissionActive =
       spec_.admission.policy != AdmissionPolicyKind::AcceptAll;
 
@@ -138,6 +174,13 @@ FederatedTrialResult FederatedSimulation::run() {
     cl.metrics = sim::Metrics(numTaskTypes);
     cl.metrics.setCounted(countedMask);
     cl.config = config_;
+    // Resolve this cluster's controller config up front: the scheduler's
+    // config copy must see it (it gates the immediate-mode unmappable-task
+    // fallback), and the controller below references the cluster-local
+    // copy.
+    if (!spec_.clusterElasticity.empty()) {
+      cl.config.elasticity = spec_.clusterElasticity[c];
+    }
     if (spec_.traceSink) {
       const auto fedSink = spec_.traceSink;
       const auto baseSink = config_.traceSink;
@@ -169,6 +212,20 @@ FederatedTrialResult FederatedSimulation::run() {
                             cl.routingCache.get());
       cl.routingCtx->enablePersistence();
     }
+    // The controller arms BEFORE the fault injector (exactly like the
+    // single-cluster engine): surplus slots park at t = 0, so parked
+    // capacity never gets a failure process.  Seed split off the trial's
+    // elasticity seed with the same scheme the execution streams use.
+    if (cl.config.elasticity.active()) {
+      cl.controller.emplace(cl.config.elasticity,
+                            clusterExecutionSeed(config_.elasticitySeed, c),
+                            model, cl.machines.size(),
+                            batchMode ? config_.machineQueueCapacity
+                                      : heuristics::MappingContext::kUnbounded,
+                            config_.pctCacheEnabled);
+      cl.controller->beginTrial(cl.events, cl.machines, pool);
+      controllersActive = true;
+    }
     if (faultsActive) {
       // Split per-cluster fault stream off the trial's fault seed, the same
       // scheme the execution streams use (cluster 0 keeps the base).
@@ -185,6 +242,22 @@ FederatedTrialResult FederatedSimulation::run() {
                       cl.metrics, cl.rng,      *models_[c]};
     if (cl.injector.has_value()) world.faultRng = &cl.injector->rng();
     return world;
+  };
+  // After a completion or recovery, a draining machine may have emptied —
+  // the drain is done and the machine retires.
+  auto maybeRetire = [&](std::size_t c, sim::MachineId machine,
+                         sim::Time when) {
+    Cluster& cl = clusters[c];
+    if (!cl.controller.has_value()) return;
+    sim::FaultInjector* injectorPtr =
+        cl.injector.has_value() ? &*cl.injector : nullptr;
+    if (cl.controller->maybeRetire(cl.events, cl.machines, pool, machine,
+                                   when, injectorPtr) &&
+        cl.config.traceSink) {
+      cl.config.traceSink(sim::TraceEvent{
+          when, sim::TraceEventKind::MachineRetired, sim::kInvalidTask,
+          machine});
+    }
   };
   for (std::size_t c = 0; c < n; ++c) {
     const core::World world = worldOf(c);
@@ -266,15 +339,16 @@ FederatedTrialResult FederatedSimulation::run() {
   std::size_t cursor = 0;
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
   // With churn active, every cluster's fail/repair process re-arms on each
-  // transition and its queue never drains; the trial is over once every
-  // task reached a terminal state somewhere in the federation.
+  // transition and its queue never drains — and controller ticks recur
+  // forever the same way; the trial is over once every task reached a
+  // terminal state somewhere in the federation.
   auto allTasksTerminal = [&] {
     std::size_t terminal = gatewayMetrics.terminalCount();
     for (const Cluster& cl : clusters) terminal += cl.metrics.terminalCount();
     return terminal == pool.size();
   };
   while (true) {
-    if (faultsActive && allTasksTerminal()) break;
+    if ((faultsActive || controllersActive) && allTasksTerminal()) break;
     std::size_t nextCluster = kNone;
     sim::Time nextEventTime = 0;
     for (std::size_t c = 0; c < n; ++c) {
@@ -308,6 +382,33 @@ FederatedTrialResult FederatedSimulation::run() {
       continue;
     }
 
+    // Mirror of the single-cluster engine's quiescence break: a tick
+    // popping with the stream exhausted, no retries, nothing in flight, an
+    // idle fleet everywhere, and no boot pending can never change a task's
+    // fate again — break BEFORE processing it so every cluster's clock (and
+    // the finalize sweep of deferred leftovers) stays at its last task
+    // event, preserving the N=1 identity oracle.  Fault-active runs opt
+    // out: recovery-driven mapping events can still resolve stuck tasks.
+    if (!faultsActive &&
+        clusters[nextCluster].events.top().kind ==
+            sim::EventKind::ControllerTick &&
+        !haveArrival && !haveRetry) {
+      const auto quiescent = [&] {
+        for (const Cluster& other : clusters) {
+          if (other.inFlight > 0) return false;
+          if (other.controller.has_value() &&
+              other.controller->hasPendingBoot()) {
+            return false;
+          }
+          for (const sim::Machine& m : other.machines) {
+            if (m.busy() || m.queueLength() > 0) return false;
+          }
+        }
+        return true;
+      };
+      if (quiescent()) break;
+    }
+
     Cluster& cl = clusters[nextCluster];
     const sim::Event event = cl.events.pop();
     now = event.time;
@@ -320,6 +421,7 @@ FederatedTrialResult FederatedSimulation::run() {
         break;
       case sim::EventKind::TaskCompletion:
         cl.scheduler->handleCompletion(world, event.machine, event.task, now);
+        maybeRetire(nextCluster, event.machine, now);
         break;
       case sim::EventKind::MachineFailure:
       case sim::EventKind::MachineRecovery: {
@@ -330,6 +432,49 @@ FederatedTrialResult FederatedSimulation::run() {
           cl.scheduler->handleMachineFailure(world, event.machine, now);
         } else if (action == sim::FaultInjector::Action::Recover) {
           cl.scheduler->handleMachineRecovery(world, event.machine, now);
+          // A machine that failed while draining recovers empty and still
+          // draining: the drain completes on the spot.
+          maybeRetire(nextCluster, event.machine, now);
+        }
+        break;
+      }
+      case sim::EventKind::ControllerTick: {
+        sim::LoadSignal signal;
+        // In-flight (gateway-routed, latency-delayed) tasks are committed
+        // load the controller should see before they land.
+        signal.tasksInSystem = cl.scheduler->batchQueueLength() + cl.inFlight;
+        for (const sim::Machine& m : cl.machines) {
+          signal.tasksInSystem += m.queueLength() + (m.busy() ? 1u : 0u);
+        }
+        if (cl.controller->needsHeadTask()) {
+          signal.headTask = cl.scheduler->batchQueueHead();
+        }
+        sim::FaultInjector* injectorPtr =
+            cl.injector.has_value() ? &*cl.injector : nullptr;
+        const sim::CapacityDelta delta =
+            cl.controller->onTick(cl.events, cl.machines, pool, signal,
+                                  cl.metrics, now, injectorPtr);
+        emitCapacityTraces(cl.config.traceSink, delta, now);
+        // Only added accepting capacity warrants a mapping event — drains
+        // and retirements shrink the candidate set and the next natural
+        // event prices that in (the min == max identity oracle).
+        if (delta.capacityAdded()) {
+          cl.scheduler->handleCapacityChanged(world, now);
+        }
+        break;
+      }
+      case sim::EventKind::CapacityOnline: {
+        sim::FaultInjector* injectorPtr =
+            cl.injector.has_value() ? &*cl.injector : nullptr;
+        const bool accepting = cl.controller->onCapacityOnline(
+            cl.events, event, cl.machines, pool, now, injectorPtr);
+        if (accepting) {
+          if (cl.config.traceSink) {
+            cl.config.traceSink(sim::TraceEvent{
+                now, sim::TraceEventKind::MachineBooted, sim::kInvalidTask,
+                event.machine});
+          }
+          cl.scheduler->handleCapacityChanged(world, now);
         }
         break;
       }
@@ -348,6 +493,16 @@ FederatedTrialResult FederatedSimulation::run() {
   result.clusters.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
     Cluster& cl = clusters[c];
+    // Machine-seconds cost accounting per cluster (merged into the
+    // aggregate below), mirroring the single-cluster engine: integrated
+    // against *online* capacity, not wall clock.
+    const sim::ExecutionModel& model = *models_[c];
+    for (std::size_t j = 0; j < cl.machines.size(); ++j) {
+      const sim::Machine& m = cl.machines[j];
+      cl.metrics.recordMachineSeconds(model.machineTypeOf(static_cast<int>(j)),
+                                      m.onlineSeconds(now),
+                                      m.drainingSeconds(now), m.busyTime());
+    }
     ClusterOutcome outcome;
     outcome.tasksRouted = cl.routed;
     outcome.mappingEvents = cl.scheduler->mappingEvents();

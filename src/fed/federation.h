@@ -57,6 +57,11 @@ struct FederationSpec {
   /// spillover is on); a federation-wide refusal rejects it outright.  The
   /// accept_all default keeps the fault-free identity contracts intact.
   AdmissionConfig admission;
+  /// Per-cluster elastic-capacity overrides.  Empty = every cluster runs
+  /// the shared SimulationConfig.elasticity block; otherwise exactly one
+  /// fully-resolved config per cluster (the bind layer merges scenario
+  /// overrides and fills each cluster's baseMachines/pool).
+  std::vector<sim::ElasticityConfig> clusterElasticity;
   /// Optional sink receiving every task lifecycle transition together with
   /// the cluster it happened on.
   std::function<void(std::size_t cluster, const sim::TraceEvent&)> traceSink;

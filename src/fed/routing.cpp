@@ -78,7 +78,7 @@ class LeastExpectedCompletionPolicy final : public RoutingPolicy {
       // cluster keeps infinite merit and is never chosen over a live one.
       double clusterEct = std::numeric_limits<double>::infinity();
       for (int j = 0; j < ctx.numMachines(); ++j) {
-        if (!ctx.machine(j).online()) continue;
+        if (!ctx.machine(j).acceptsWork()) continue;
         const double ect = ctx.expectedCompletionForType(task.type, j);
         if (ect < clusterEct) clusterEct = ect;
       }
@@ -109,7 +109,7 @@ class MaxChancePolicy final : public RoutingPolicy {
       // would otherwise advertise the best chance in the federation.
       double clusterChance = 0.0;
       for (int j = 0; j < ctx.numMachines(); ++j) {
-        if (!ctx.machine(j).online()) continue;
+        if (!ctx.machine(j).acceptsWork()) continue;
         const double chance = chances[static_cast<std::size_t>(j)];
         if (chance > clusterChance) clusterChance = chance;
       }

@@ -7,18 +7,20 @@
 
 namespace hcs::heuristics {
 
-// Every immediate heuristic places on *online* machines only (a churned
-// machine offers no capacity); with the whole fleet up the filters are
-// behavioral no-ops and every selection is bit-identical to the fault-free
-// engine.  With no machine online they return kInvalidMachine and the
-// scheduler routes the arrival through the retry policy.
+// Every immediate heuristic places on machines that *accept work* only —
+// online and not draining (a churned machine offers no capacity; a draining
+// one is winding down).  With the whole fleet up and no drains the filters
+// are behavioral no-ops and every selection is bit-identical to the
+// fault-free fixed-capacity engine.  With no machine accepting they return
+// kInvalidMachine and the scheduler routes the arrival through the retry
+// policy.
 
 sim::MachineId RoundRobin::selectMachine(const MappingContext& ctx,
                                          sim::TaskId /*task*/) {
   const int m = ctx.numMachines();
   for (int i = 0; i < m; ++i) {
     const auto j = static_cast<sim::MachineId>((next_ + i) % m);
-    if (!ctx.machine(j).online()) continue;
+    if (!ctx.machine(j).acceptsWork()) continue;
     next_ = (j + 1) % m;
     return j;
   }
@@ -31,7 +33,7 @@ sim::MachineId MinimumExpectedExecutionTime::selectMachine(
   sim::MachineId best = sim::kInvalidMachine;
   double bestExec = 0.0;
   for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
-    if (!ctx.machine(j).online()) continue;
+    if (!ctx.machine(j).acceptsWork()) continue;
     const double exec = ctx.expectedExec(type, j);
     if (best == sim::kInvalidMachine || exec < bestExec) {
       bestExec = exec;
@@ -46,7 +48,7 @@ sim::MachineId MinimumExpectedCompletionTime::selectMachine(
   sim::MachineId best = sim::kInvalidMachine;
   double bestCompletion = 0.0;
   for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
-    if (!ctx.machine(j).online()) continue;
+    if (!ctx.machine(j).acceptsWork()) continue;
     const double completion = ctx.expectedCompletion(task, j);
     if (best == sim::kInvalidMachine || completion < bestCompletion) {
       bestCompletion = completion;
@@ -65,7 +67,7 @@ sim::MachineId MaxChance::selectMachine(const MappingContext& ctx,
   const std::vector<double> chances = ctx.successChances(task);
   sim::MachineId best = sim::kInvalidMachine;
   for (sim::MachineId j = 0; j < ctx.numMachines(); ++j) {
-    if (!ctx.machine(j).online()) continue;
+    if (!ctx.machine(j).acceptsWork()) continue;
     if (best == sim::kInvalidMachine ||
         chances[static_cast<std::size_t>(j)] >
             chances[static_cast<std::size_t>(best)]) {
@@ -88,7 +90,7 @@ sim::MachineId KPercentBest::selectMachine(const MappingContext& ctx,
   std::vector<sim::MachineId> order;
   order.reserve(static_cast<std::size_t>(m));
   for (sim::MachineId j = 0; j < m; ++j) {
-    if (ctx.machine(j).online()) order.push_back(j);
+    if (ctx.machine(j).acceptsWork()) order.push_back(j);
   }
   if (order.empty()) return sim::kInvalidMachine;
   // k stays a fraction of the FULL fleet (the paper's heterogeneity knob),

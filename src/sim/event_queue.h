@@ -20,6 +20,8 @@ enum class EventKind {
   TaskCompletion,
   MachineFailure,   ///< the machine in Event.machine goes offline
   MachineRecovery,  ///< the machine in Event.machine rejoins the cluster
+  ControllerTick,   ///< periodic capacity-controller evaluation
+  CapacityOnline,   ///< a booted machine finishes its provisioning delay
 };
 
 struct Event {

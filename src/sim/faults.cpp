@@ -96,6 +96,19 @@ void FaultInjector::beginTrial(EventQueue& events,
   }
 }
 
+void FaultInjector::onMachineRetired(EventQueue& events, MachineId m) {
+  const auto idx = static_cast<std::size_t>(m);
+  if (outstanding_[idx] != kNoEvent) {
+    events.cancel(outstanding_[idx]);
+    outstanding_[idx] = kNoEvent;
+  }
+}
+
+void FaultInjector::onMachineBooted(EventQueue& events, MachineId m,
+                                    Time now) {
+  if (config_.mtbf > 0.0) armFailure(events, m, now);
+}
+
 FaultInjector::Action FaultInjector::onEvent(EventQueue& events,
                                              const Event& event,
                                              bool machineOnline) {

@@ -111,6 +111,16 @@ class FaultInjector {
   /// it so all fault randomness stays on one seed-paired stream.
   prob::Rng& rng() { return rng_; }
 
+  /// The capacity controller retired `m` (graceful scale-down): its pending
+  /// stochastic fault event dies with the slot — without this, the stale
+  /// failure would misfire after a later scale-up re-boots the slot.
+  void onMachineRetired(EventQueue& events, MachineId m);
+
+  /// The capacity controller booted `m` back into service: arm the
+  /// machine's up-time process from this instant (no-op when the
+  /// stochastic process is off).
+  void onMachineBooted(EventQueue& events, MachineId m, Time now);
+
  private:
   static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
 

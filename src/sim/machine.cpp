@@ -205,6 +205,9 @@ bool Machine::dispatch(TaskId task, Time now, TaskPool& pool,
   if (!online_) {
     throw std::logic_error("dispatch: machine is offline");
   }
+  if (draining_) {
+    throw std::logic_error("dispatch: machine is draining");
+  }
   Task& t = pool[task];
   t.machine = id_;
   t.queuedAt = now;
@@ -308,6 +311,8 @@ void Machine::goOffline(Time now, const TaskPool& pool,
   if (busy()) {
     throw std::logic_error("goOffline: abort the running task first");
   }
+  accumOnline_ += now - onlineSince_;
+  if (draining_) accumDraining_ += now - drainingSince_;
   online_ = false;
   orphans.insert(orphans.end(), queue_.begin(), queue_.end());
   queue_.clear();
@@ -321,7 +326,28 @@ void Machine::comeOnline(Time now, const TaskPool& pool,
     throw std::logic_error("comeOnline: machine is already online");
   }
   online_ = true;
+  onlineSince_ = now;
+  if (draining_) drainingSince_ = now;
   tailChanged(now, pool, model);
+}
+
+void Machine::beginDrain(Time now) {
+  if (!online_) {
+    throw std::logic_error("beginDrain: machine is offline");
+  }
+  if (draining_) {
+    throw std::logic_error("beginDrain: machine is already draining");
+  }
+  draining_ = true;
+  drainingSince_ = now;
+}
+
+void Machine::cancelDrain(Time now) {
+  if (!draining_) {
+    throw std::logic_error("cancelDrain: machine is not draining");
+  }
+  if (online_) accumDraining_ += now - drainingSince_;
+  draining_ = false;
 }
 
 }  // namespace hcs::sim

@@ -62,6 +62,32 @@ class Machine {
   /// ready memos, phase-1 tables) invalidates exactly the churned machine.
   bool online() const { return online_; }
 
+  /// True while the capacity controller is gracefully retiring this machine:
+  /// it stays online and finishes its running/queued work, but accepts no
+  /// new dispatches.  Unlike failure's abort-and-orphan path, drain is
+  /// invisible to the tasks already placed here.  The flag survives a
+  /// failure/recovery cycle (a draining machine that crashes recovers still
+  /// draining); it is cleared by cancelDrain() — either a scale-up reusing
+  /// the slot, or the controller retiring the emptied machine.
+  bool draining() const { return draining_; }
+
+  /// Whether mapping may place new work here: online and not draining.
+  /// This is the single candidate gate for heuristics, routing, and
+  /// admission; queue *promotion* (startIdleMachines / startNextIfIdle)
+  /// deliberately keeps using online() so draining machines still finish
+  /// their queues.
+  bool acceptsWork() const { return online_ && !draining_; }
+
+  /// Time this machine has spent online / draining up to `now` (machine-
+  /// seconds cost accounting for the elasticity layer).  Draining time is a
+  /// subset of online time; both clocks pause while the machine is offline.
+  Time onlineSeconds(Time now) const {
+    return accumOnline_ + (online_ ? now - onlineSince_ : 0);
+  }
+  Time drainingSeconds(Time now) const {
+    return accumDraining_ + (online_ && draining_ ? now - drainingSince_ : 0);
+  }
+
   const std::deque<TaskId>& queue() const { return queue_; }
   /// Task types of queue(), same order — a dense mirror so the hot queue
   /// walks (expected-ready sums, Eq. 1 chain rebuilds) read one contiguous
@@ -183,6 +209,18 @@ class Machine {
   /// read.  Throws std::logic_error if already online.
   void comeOnline(Time now, const TaskPool& pool, const ExecutionModel& model);
 
+  /// Marks the machine draining (graceful scale-down).  Queue content is
+  /// untouched and no epoch bump happens: both mapping engines re-derive
+  /// eligibility from the free-slot gate on every mapping event, so flipping
+  /// the flag cannot stale any epoch-keyed memo.  Throws std::logic_error if
+  /// offline or already draining.
+  void beginDrain(Time now);
+
+  /// Clears the draining flag: a scale-up reclaiming the slot, or the
+  /// controller retiring the now-empty machine (after goOffline).  Throws
+  /// std::logic_error if not draining.
+  void cancelDrain(Time now);
+
  private:
   std::int64_t binAt(Time t) const;
   /// Folds the pending lazy appends into tail_ (no-op when none).
@@ -215,6 +253,14 @@ class Machine {
   std::uint64_t epoch_ = 0;
   Time busyTime_ = 0;
   bool online_ = true;
+  bool draining_ = false;
+  // Machine-seconds cost clocks (elasticity accounting).  Online time
+  // accrues from construction; draining time only between beginDrain and
+  // cancelDrain.  Both pause across an offline interval.
+  Time accumOnline_ = 0;
+  Time onlineSince_ = 0;
+  Time accumDraining_ = 0;
+  Time drainingSince_ = 0;
 };
 
 }  // namespace hcs::sim

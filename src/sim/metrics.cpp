@@ -87,6 +87,18 @@ void Metrics::merge(const Metrics& other) {
   onTimeValue_ += other.onTimeValue_;
   perMachine_.insert(perMachine_.end(), other.perMachine_.begin(),
                      other.perMachine_.end());
+  // Machine types are global (a PET-matrix column), so per-type
+  // machine-seconds sum across clusters instead of concatenating.
+  if (perTypeSeconds_.size() < other.perTypeSeconds_.size()) {
+    perTypeSeconds_.resize(other.perTypeSeconds_.size());
+  }
+  for (std::size_t k = 0; k < other.perTypeSeconds_.size(); ++k) {
+    perTypeSeconds_[k].online += other.perTypeSeconds_[k].online;
+    perTypeSeconds_[k].draining += other.perTypeSeconds_[k].draining;
+    perTypeSeconds_[k].busy += other.perTypeSeconds_[k].busy;
+  }
+  scaleUps_ += other.scaleUps_;
+  scaleDowns_ += other.scaleDowns_;
 }
 
 double Metrics::robustnessPercent() const {
@@ -123,6 +135,42 @@ Time Metrics::wastedBusyTime() const {
   Time total = 0;
   for (const ExecutionSplit& split : perMachine_) total += split.wasted;
   return total;
+}
+
+void Metrics::recordMachineSeconds(int machineType, Time online,
+                                   Time draining, Time busy) {
+  if (machineType < 0) {
+    throw std::invalid_argument("recordMachineSeconds: invalid machine type");
+  }
+  const auto idx = static_cast<std::size_t>(machineType);
+  if (perTypeSeconds_.size() <= idx) perTypeSeconds_.resize(idx + 1);
+  perTypeSeconds_[idx].online += online;
+  perTypeSeconds_[idx].draining += draining;
+  perTypeSeconds_[idx].busy += busy;
+}
+
+Time Metrics::onlineMachineSeconds() const {
+  Time total = 0;
+  for (const MachineSeconds& s : perTypeSeconds_) total += s.online;
+  return total;
+}
+
+Time Metrics::drainingMachineSeconds() const {
+  Time total = 0;
+  for (const MachineSeconds& s : perTypeSeconds_) total += s.draining;
+  return total;
+}
+
+Time Metrics::busyMachineSeconds() const {
+  Time total = 0;
+  for (const MachineSeconds& s : perTypeSeconds_) total += s.busy;
+  return total;
+}
+
+double Metrics::utilizationPercent() const {
+  const Time online = onlineMachineSeconds();
+  if (online <= 0) return 0.0;
+  return 100.0 * busyMachineSeconds() / online;
 }
 
 }  // namespace hcs::sim

@@ -59,6 +59,20 @@ class Metrics {
   /// the quantity the paper's §VII energy argument is about.
   void recordExecution(MachineId machine, Time duration, bool useful);
 
+  /// Records one capacity-controller scale action (for the scale-event
+  /// report columns).
+  void recordScaleUp() { ++scaleUps_; }
+  void recordScaleDown() { ++scaleDowns_; }
+
+  /// Folds one machine's end-of-trial cost clocks into the per-machine-type
+  /// machine-seconds accounting: `online` is the total time the machine was
+  /// part of the cluster (what capacity costs), `draining` the portion of
+  /// that spent winding down, `busy` the portion spent executing.  Called
+  /// once per machine when the trial ends — also for fixed-capacity trials,
+  /// so utilization-vs-online reporting works everywhere.
+  void recordMachineSeconds(int machineType, Time online, Time draining,
+                            Time busy);
+
   /// Marks task ids excluded from robustness (warm-up / cool-down trimming).
   void setCounted(std::vector<bool> counted) { counted_ = std::move(counted); }
 
@@ -114,6 +128,27 @@ class Metrics {
   Time usefulBusyTime() const;
   Time wastedBusyTime() const;
 
+  /// Machine-seconds cost accounting, per machine type and in total.
+  struct MachineSeconds {
+    Time online = 0;    ///< time as cluster capacity (the cost metric)
+    Time draining = 0;  ///< subset of online spent winding down
+    Time busy = 0;      ///< subset of online spent executing
+  };
+
+  const std::vector<MachineSeconds>& perTypeMachineSeconds() const {
+    return perTypeSeconds_;
+  }
+  Time onlineMachineSeconds() const;
+  Time drainingMachineSeconds() const;
+  Time busyMachineSeconds() const;
+  /// % of online machine-seconds spent executing — utilization measured
+  /// against time the capacity actually existed, so churn/drain intervals
+  /// don't skew it.
+  double utilizationPercent() const;
+
+  std::size_t scaleUps() const { return scaleUps_; }
+  std::size_t scaleDowns() const { return scaleDowns_; }
+
  private:
   bool isCounted(TaskId id) const;
 
@@ -128,6 +163,9 @@ class Metrics {
   std::size_t spillovers_ = 0;
   std::size_t failedThenMet_ = 0;
   std::vector<ExecutionSplit> perMachine_;
+  std::vector<MachineSeconds> perTypeSeconds_;
+  std::size_t scaleUps_ = 0;
+  std::size_t scaleDowns_ = 0;
   double countedValue_ = 0.0;
   double onTimeValue_ = 0.0;
 };

@@ -20,6 +20,12 @@ std::string_view toString(TraceEventKind kind) {
     case TraceEventKind::Retried: return "Retried";
     case TraceEventKind::Abandoned: return "Abandoned";
     case TraceEventKind::Rejected: return "Rejected";
+    case TraceEventKind::MachineBooting: return "MachineBooting";
+    case TraceEventKind::MachineBooted: return "MachineBooted";
+    case TraceEventKind::BootCancelled: return "BootCancelled";
+    case TraceEventKind::MachineDraining: return "MachineDraining";
+    case TraceEventKind::DrainCancelled: return "DrainCancelled";
+    case TraceEventKind::MachineRetired: return "MachineRetired";
   }
   return "Unknown";
 }

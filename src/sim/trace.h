@@ -27,6 +27,12 @@ enum class TraceEventKind {
   Retried,           ///< failed task rescheduled into the arrival stream
   Abandoned,         ///< retry policy gave up on the task
   Rejected,          ///< federation gateway refused admission
+  MachineBooting,    ///< controller requested a scale-up (task = kInvalidTask)
+  MachineBooted,     ///< provisioning delay elapsed; machine is accepting work
+  BootCancelled,     ///< scale-down withdrew a boot before it completed
+  MachineDraining,   ///< controller began a graceful scale-down
+  DrainCancelled,    ///< a scale-up reclaimed a draining machine's slot
+  MachineRetired,    ///< a drained machine emptied and left the cluster
 };
 
 std::string_view toString(TraceEventKind kind);

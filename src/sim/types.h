@@ -43,6 +43,12 @@ class ExecutionModel {
 
   /// Cached mean of pet(type, machine); heuristics call this in tight loops.
   virtual double expectedExec(TaskType type, MachineId machine) const = 0;
+
+  /// Machine-type index of `machine` (0..numMachineTypes-1): the grouping
+  /// key for per-type capacity bounds and machine-seconds cost accounting
+  /// in the elasticity layer.  Models without a machine-type notion report
+  /// a single type 0.
+  virtual int machineTypeOf(MachineId) const { return 0; }
 };
 
 }  // namespace hcs::sim

@@ -127,6 +127,9 @@ class BoundExecutionModel final : public sim::ExecutionModel {
   int machineType(sim::MachineId machine) const {
     return machineTypes_[static_cast<std::size_t>(machine)];
   }
+  int machineTypeOf(sim::MachineId machine) const override {
+    return machineType(machine);
+  }
   const PetMatrix& matrix() const { return *pet_; }
 
  private:

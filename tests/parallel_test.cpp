@@ -16,6 +16,27 @@ namespace {
 
 using namespace hcs;
 
+// --- Spawn-failure machinery -------------------------------------------------
+
+std::thread spawnAlwaysFails(const std::function<void()>&) {
+  throw std::runtime_error("spawn refused");
+}
+
+int g_spawnBudget = 0;
+std::thread spawnWithBudget(const std::function<void()>& fn) {
+  if (g_spawnBudget <= 0) throw std::runtime_error("spawn refused");
+  --g_spawnBudget;
+  return std::thread(fn);
+}
+
+/// Restores the real std::thread path no matter how the test exits.
+struct SpawnHookGuard {
+  explicit SpawnHookGuard(std::thread (*hook)(const std::function<void()>&)) {
+    exp::ParallelExecutor::setSpawnHookForTesting(hook);
+  }
+  ~SpawnHookGuard() { exp::ParallelExecutor::setSpawnHookForTesting(nullptr); }
+};
+
 // --- ParallelExecutor --------------------------------------------------------
 
 TEST(ParallelExecutorTest, RunsEveryIndexExactlyOnce) {
@@ -55,6 +76,74 @@ TEST(ParallelExecutorTest, RethrowsLowestIndexException) {
       EXPECT_STREQ(e.what(), "boom 2") << "jobs=" << jobs;
     }
   }
+}
+
+// --- Degraded path: worker threads fail to spawn -----------------------------
+
+TEST(ParallelExecutorTest, DegradesToCallingThreadWhenNoWorkerSpawns) {
+  const SpawnHookGuard guard(&spawnAlwaysFails);
+  std::vector<std::atomic<int>> counts(23);
+  exp::ParallelExecutor(8).run(counts.size(),
+                               [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelExecutorTest, DegradesWithPartialWorkerComplement) {
+  const SpawnHookGuard guard(&spawnWithBudget);
+  g_spawnBudget = 1;  // one worker spawns, the rest hit the resource limit
+  std::vector<std::atomic<int>> counts(41);
+  exp::ParallelExecutor(8).run(counts.size(),
+                               [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelExecutorTest, DegradedRunStillRethrowsLowestIndexException) {
+  const SpawnHookGuard guard(&spawnAlwaysFails);
+  try {
+    exp::ParallelExecutor(4).run(8, [](std::size_t i) {
+      if (i == 2 || i == 5) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+}
+
+TEST(ParallelExperimentTest, SpawnFailureKeepsResultsIdenticalToSerial) {
+  exp::PaperScenario::Options options;
+  options.scale = 0.02;
+  options.trials = 5;
+  const exp::PaperScenario scenario(options);
+
+  exp::ExperimentSpec spec = scenario.experimentSpec(
+      exp::PaperScenario::kRate20k, workload::ArrivalPattern::Spiky);
+  spec.sim.heuristic = "MM";
+
+  spec.jobs = 1;
+  const exp::ExperimentResult serial =
+      exp::runExperiment(scenario.hetero(), spec);
+
+  const SpawnHookGuard guard(&spawnAlwaysFails);
+  spec.jobs = 4;  // requests 3 workers; all spawns fail, caller drains
+  const exp::ExperimentResult degraded =
+      exp::runExperiment(scenario.hetero(), spec);
+
+  ASSERT_EQ(serial.perTrialRobustness.size(),
+            degraded.perTrialRobustness.size());
+  for (std::size_t i = 0; i < serial.perTrialRobustness.size(); ++i) {
+    EXPECT_EQ(serial.perTrialRobustness[i], degraded.perTrialRobustness[i]);
+  }
+  EXPECT_EQ(serial.robustnessCi.mean, degraded.robustnessCi.mean);
+  EXPECT_EQ(serial.robustnessCi.halfWidth, degraded.robustnessCi.halfWidth);
+  EXPECT_EQ(serial.meanUtilization.mean(), degraded.meanUtilization.mean());
+  EXPECT_EQ(serial.machineSeconds.mean(), degraded.machineSeconds.mean());
+  EXPECT_EQ(serial.utilizationPct.mean(), degraded.utilizationPct.mean());
 }
 
 // --- Experiment determinism --------------------------------------------------

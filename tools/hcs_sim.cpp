@@ -280,6 +280,19 @@ int cmdValidate(const char* argv0, int argc, char** argv) {
                  spec.fedClusters,
                  std::string(fed::toString(spec.admission.policy)).c_str());
   }
+  if (spec.elasticity.active()) {
+    int lo = 0, hi = 0;
+    for (const sim::ElasticGroup& g : spec.elasticity.pool) {
+      lo += g.minMachines;
+      hi += g.maxMachines;
+    }
+    std::fprintf(stderr,
+                 "  elasticity: policy=%s groups=%zu bounds=[%d, %d] "
+                 "period=%g boot_latency=%g overrides=%zu\n",
+                 sim::toString(spec.elasticity.policy),
+                 spec.elasticity.pool.size(), lo, hi, spec.elasticity.period,
+                 spec.elasticity.bootLatency, spec.elasticityOverrides.size());
+  }
   // The resolved canonical document goes to stdout so it can be piped or
   // diffed; diagnostics above stay on stderr.
   exp::ScenarioDoc canonical;
