@@ -1,0 +1,259 @@
+// Micro-benchmark for the streaming engine: what pull-based arrivals cost
+// against the materialized path, and the headline number the roadmap's
+// million-task service mode is about — streamed tasks per second in a flat
+// memory envelope.
+//
+// After the google-benchmark suites, main() verifies the layer's keystone
+// contract — a streamed trial reproduces the materialized TrialResult
+// exactly — then times (a) the paired trials on the paper's oversubscribed
+// stream and (b) a large streamed-only run (HCS_STREAM_TASKS tasks, default
+// 10M) that no materialized trial of the same size would fit in memory,
+// writing the comparison to BENCH_streaming.json.  Exits nonzero if the
+// streamed trial ever diverges.  HCS_STREAM_REPS overrides the best-of
+// repetition count (default 3).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "bench_util.h"
+#include "core/simulation.h"
+#include "exp/experiment.h"
+#include "exp/scenario.h"
+#include "workload/stream.h"
+#include "workload/workload.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define HCS_HAVE_RUSAGE 1
+#endif
+
+namespace {
+
+using namespace hcs;
+
+const exp::PaperScenario& scenario() {
+  static exp::PaperScenario s;  // the paper's 12-type x 8-machine cluster
+  return s;
+}
+
+workload::ArrivalSpec oversubscribedArrival() {
+  return scenario().arrivalSpec(exp::PaperScenario::kRate25k,
+                                workload::ArrivalPattern::Spiky);
+}
+
+core::SimulationConfig baseConfig() {
+  core::SimulationConfig config;
+  config.heuristic = "MM";
+  config.warmupMargin = 0;
+  return config;
+}
+
+void BM_MaterializedTrial(benchmark::State& state) {
+  const workload::Workload wl = workload::Workload::generate(
+      *scenario().pet(), oversubscribedArrival(), {}, 7);
+  const core::SimulationConfig config = baseConfig();
+  for (auto _ : state) {
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), wl, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_StreamedTrial(benchmark::State& state) {
+  const core::SimulationConfig config = baseConfig();
+  for (auto _ : state) {
+    workload::GeneratedTaskStream stream(*scenario().pet(),
+                                         oversubscribedArrival(), {}, 7);
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), stream, config).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+  }
+}
+void BM_EagerGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    const workload::Workload wl = workload::Workload::generate(
+        *scenario().pet(), oversubscribedArrival(), {}, 7);
+    benchmark::DoNotOptimize(wl.size());
+  }
+}
+void BM_StreamedGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::GeneratedTaskStream stream(*scenario().pet(),
+                                         oversubscribedArrival(), {}, 7);
+    std::size_t n = 0;
+    while (stream.peek() != nullptr) {
+      benchmark::DoNotOptimize(stream.pop().arrival);
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_MaterializedTrial);
+BENCHMARK(BM_StreamedTrial);
+BENCHMARK(BM_EagerGenerate);
+BENCHMARK(BM_StreamedGenerate);
+
+double bestOfUs(int reps, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double us = run();
+    if (r == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+double rssMb() {
+#if defined(HCS_HAVE_RUSAGE)
+  struct rusage u {};
+  getrusage(RUSAGE_SELF, &u);
+#if defined(__APPLE__)
+  return static_cast<double>(u.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(u.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// True when the two trials report identical results (everything the
+/// experiment layer consumes).
+bool sameResult(const core::TrialResult& a, const core::TrialResult& b) {
+  return a.robustnessPercent == b.robustnessPercent &&
+         a.mappingEvents == b.mappingEvents && a.makespan == b.makespan &&
+         a.metrics.completedOnTime() == b.metrics.completedOnTime() &&
+         a.metrics.completedLate() == b.metrics.completedLate() &&
+         a.metrics.droppedReactive() == b.metrics.droppedReactive() &&
+         a.metrics.droppedProactive() == b.metrics.droppedProactive() &&
+         a.metrics.deferrals() == b.metrics.deferrals() &&
+         a.machineUtilization == b.machineUtilization;
+}
+
+int runStreamingComparison() {
+  const char* repsEnv = std::getenv("HCS_STREAM_REPS");
+  const int reps = repsEnv != nullptr ? std::max(1, std::atoi(repsEnv)) : 3;
+  std::size_t bigTasks = 10000000;
+  if (const char* env = std::getenv("HCS_STREAM_TASKS")) {
+    const unsigned long long n = std::strtoull(env, nullptr, 10);
+    if (n > 0) bigTasks = static_cast<std::size_t>(n);
+  }
+
+  hcs::bench::JsonWriter json;
+  json.field("bench", "streaming").field("heuristic", "MM");
+
+  // Keystone check: the streamed trial must reproduce the materialized
+  // TrialResult exactly (the full digest oracle lives in
+  // tests/stream_test.cpp; here it guards the bench numbers).
+  const workload::Workload wl = workload::Workload::generate(
+      *scenario().pet(), oversubscribedArrival(), {}, 7);
+  const core::TrialResult materialized =
+      core::Simulation(scenario().hetero(), wl, baseConfig()).run();
+  workload::GeneratedTaskStream identityStream(*scenario().pet(),
+                                               oversubscribedArrival(), {}, 7);
+  const core::TrialResult streamed =
+      core::Simulation(scenario().hetero(), identityStream, baseConfig())
+          .run();
+  bool diverged = false;
+  if (!sameResult(materialized, streamed)) {
+    std::fprintf(stderr,
+                 "micro_streaming: streamed trial DIVERGED from the "
+                 "materialized engine\n");
+    diverged = true;
+  }
+  json.field("tasks", static_cast<std::uint64_t>(wl.size()));
+
+  // Paired cost on the paper's stream (generation included on both sides).
+  const double materializedUs = bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const workload::Workload w = workload::Workload::generate(
+        *scenario().pet(), oversubscribedArrival(), {}, 7);
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), w, baseConfig()).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+  const double streamedUs = bestOfUs(reps, [&] {
+    const auto start = std::chrono::steady_clock::now();
+    workload::GeneratedTaskStream stream(*scenario().pet(),
+                                         oversubscribedArrival(), {}, 7);
+    const core::TrialResult r =
+        core::Simulation(scenario().hetero(), stream, baseConfig()).run();
+    benchmark::DoNotOptimize(r.robustnessPercent);
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+  const double ratio =
+      materializedUs > 0.0 ? streamedUs / materializedUs : 0.0;
+
+  // The headline: a trial far beyond materialized reach.  A fast flat
+  // cluster keeps the scheduler from being the bottleneck under study, and
+  // the constant pattern streams arrivals at ~2.4x the cluster's service
+  // capacity so drops, queues, and completions all stay exercised.
+  workload::ArrivalSpec big;
+  big.pattern = workload::ArrivalPattern::Constant;
+  big.totalTasks = bigTasks;
+  big.numTaskTypes = 2;
+  big.span = static_cast<double>(bigTasks) / 8.0;
+  const workload::PetMatrix flatPet = workload::PetMatrix::fromMeans(
+      {{1.0, 1.2, 1.4, 1.6}, {0.8, 1.0, 1.2, 1.4}}, 4.0, 99);
+  const workload::BoundExecutionModel flatCluster(
+      std::make_shared<const workload::PetMatrix>(flatPet), {0, 1, 2, 3});
+  core::SimulationConfig bigConfig;
+  bigConfig.heuristic = "MCT";
+
+  const double rssBeforeMb = rssMb();
+  std::size_t bigTerminal = 0;
+  const double bigUs = bestOfUs(std::min(reps, 2), [&] {
+    const auto start = std::chrono::steady_clock::now();
+    workload::GeneratedTaskStream stream(flatPet, big, {}, 17);
+    const core::TrialResult r =
+        core::Simulation(flatCluster, stream, bigConfig).run();
+    bigTerminal = r.metrics.terminalCount();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  });
+  const double rssAfterMb = rssMb();
+  const double tasksPerSec =
+      bigUs > 0.0 ? static_cast<double>(bigTasks) / (bigUs / 1e6) : 0.0;
+
+  std::printf("\nstreaming comparison (MM, 25k-equivalent stream, best of "
+              "%d):\n", reps);
+  std::printf("  materialized trial: %8.0f us\n", materializedUs);
+  std::printf("  streamed trial:     %8.0f us (%.2fx)\n", streamedUs, ratio);
+  std::printf(
+      "  streamed %zu-task run (MCT, flat 4-machine cluster): %.2f s, "
+      "%.0f tasks/s, %zu terminal, RSS %.0f -> %.0f MB\n",
+      bigTasks, bigUs / 1e6, tasksPerSec, bigTerminal, rssBeforeMb,
+      rssAfterMb);
+
+  json.field("materialized_trial_us", materializedUs);
+  json.field("streamed_trial_us", streamedUs);
+  json.field("streamed_overhead_ratio", ratio);
+  json.field("big_run_tasks", static_cast<std::uint64_t>(bigTasks));
+  json.field("big_run_s", bigUs / 1e6);
+  json.field("streamed_tasks_per_sec", tasksPerSec);
+  json.field("big_run_terminal",
+             static_cast<std::uint64_t>(bigTerminal));
+  json.field("big_run_rss_mb", rssAfterMb);
+
+  json.write("BENCH_streaming.json");
+  return diverged ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runStreamingComparison();
+}

@@ -171,6 +171,9 @@ void Scheduler::handleCompletion(World& world, sim::MachineId machine,
   // passes must see (and may drop) the queue's head first; idle machines
   // start their surviving head task at the end of the event.
   m.finishRunning(now, world.pool, world.model);
+  // Terminal and fully unlinked: under a recycling pool (streaming mode)
+  // the slot is free for the next arrival.  No-op otherwise.
+  world.pool.retire(task);
   mappingEvent(world, now);
 }
 
@@ -302,6 +305,9 @@ void Scheduler::dropTask(World& world, sim::TaskId task, sim::Time now,
     // about to be) missed through no choice of the pruner's.
     accounting_.recordDeadlineMiss(t.type);
   }
+  // Every dropTask caller unlinks the task from its queue first, so the
+  // slot can be recycled (streaming mode; no-op otherwise).
+  world.pool.retire(task);
 }
 
 void Scheduler::retryOrAbandon(World& world, sim::TaskId task, sim::Time now) {

@@ -40,19 +40,30 @@ void emitCapacityTraces(const sim::TraceSink& sink,
 Simulation::Simulation(const sim::ExecutionModel& model,
                        const workload::Workload& workload,
                        SimulationConfig config)
-    : model_(model), workload_(workload), config_(std::move(config)) {
+    : model_(model), workload_(&workload), config_(std::move(config)) {
   if (workload.numTaskTypes() != model.numTaskTypes()) {
     throw std::invalid_argument(
         "Simulation: workload / model task-type count mismatch");
   }
 }
 
+Simulation::Simulation(const sim::ExecutionModel& model,
+                       workload::TaskStream& stream, SimulationConfig config)
+    : model_(model), stream_(&stream), config_(std::move(config)) {
+  if (stream.numTaskTypes() != model.numTaskTypes()) {
+    throw std::invalid_argument(
+        "Simulation: stream / model task-type count mismatch");
+  }
+}
+
 TrialResult Simulation::run() {
+  const bool streaming = stream_ != nullptr;
   const double binWidth = model_.pet(0, 0).binWidth();
   const bool batchMode =
       allocationModeFor(config_) == AllocationMode::Batch;
 
   sim::TaskPool pool;
+  if (streaming) pool.enableRecycling();
   std::vector<sim::Machine> machines;
   machines.reserve(static_cast<std::size_t>(model_.numMachines()));
   for (int j = 0; j < model_.numMachines(); ++j) {
@@ -61,13 +72,19 @@ TrialResult Simulation::run() {
   }
   sim::EventQueue events;
   sim::Metrics metrics(model_.numTaskTypes());
-  metrics.setCounted(workload_.countedMask(config_.warmupMargin));
+  if (streaming) {
+    metrics.enableOnlineCounting(config_.warmupMargin, pool.createdClock());
+  } else {
+    metrics.setCounted(workload_->countedMask(config_.warmupMargin));
+  }
   prob::Rng execRng(config_.executionSeed);
 
-  for (const workload::TaskSpec& spec : workload_.tasks()) {
-    const sim::TaskId id =
-        pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
-    events.push(spec.arrival, sim::EventKind::TaskArrival, id);
+  if (!streaming) {
+    for (const workload::TaskSpec& spec : workload_->tasks()) {
+      const sim::TaskId id =
+          pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
+      events.push(spec.arrival, sim::EventKind::TaskArrival, id);
+    }
   }
 
   Scheduler scheduler(config_, model_.numTaskTypes());
@@ -117,9 +134,19 @@ TrialResult Simulation::run() {
   // With churn active, the stochastic fail/repair process re-arms on every
   // transition and would keep the queue populated forever; the trial is
   // over once every task reached a terminal state (no task events can be
-  // pending then — only fault events, which no longer matter).
+  // pending then — only fault events, which no longer matter).  A streamed
+  // trial learns its task count as the stream drains: it is over once the
+  // stream is dry AND everything created went terminal.
   const std::size_t totalTasks = pool.size();
   std::size_t arrivalsSeen = 0;
+  const auto allTerminal = [&]() {
+    if (streaming) {
+      return stream_->peek() == nullptr &&
+             metrics.terminalCount() ==
+                 static_cast<std::size_t>(pool.createdCount());
+    }
+    return metrics.terminalCount() == totalTasks;
+  };
   // Ticks re-arm forever, so an elastic trial can not rely on queue
   // exhaustion.  A tick popping after the last arrival, with every machine
   // idle and empty and no boot in flight, can never change a task's fate
@@ -130,7 +157,9 @@ TrialResult Simulation::run() {
   // min == max identity oracle holds.  Fault injectors opt out: their
   // recovery-driven mapping events can still resolve stuck tasks.
   const auto taskQuiescent = [&]() {
-    if (arrivalsSeen < totalTasks) return false;
+    const bool moreArrivals =
+        streaming ? stream_->peek() != nullptr : arrivalsSeen < totalTasks;
+    if (moreArrivals) return false;
     if (controller->hasPendingBoot()) return false;
     for (const sim::Machine& m : machines) {
       if (m.busy() || m.queueLength() > 0) return false;
@@ -138,7 +167,32 @@ TrialResult Simulation::run() {
     return true;
   };
   sim::Time now = 0;
-  while (auto event = events.tryPop()) {
+  for (;;) {
+    // Streamed arrivals bypass the event queue: the next task is created
+    // (and its slot allocated) only when its arrival time is due.  At equal
+    // times the arrival wins — exactly the materialized tie-break, where
+    // up-front arrival pushes hold the lowest sequence numbers.  TaskArrival
+    // events *in the queue* are then only retry re-entries, same as the
+    // materialized engine's.
+    if (streaming) {
+      const workload::TaskSpec* next = stream_->peek();
+      if (next != nullptr &&
+          (events.empty() || next->arrival <= events.top().time)) {
+        const workload::TaskSpec spec = stream_->pop();
+        now = spec.arrival;
+        const sim::TaskId id =
+            pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
+        ++arrivalsSeen;
+        scheduler.handleArrival(world, id, now);
+        if ((injector.has_value() || controller.has_value()) &&
+            allTerminal()) {
+          break;
+        }
+        continue;
+      }
+    }
+    auto event = events.tryPop();
+    if (!event.has_value()) break;
     if (event->kind == sim::EventKind::ControllerTick &&
         !injector.has_value() && taskQuiescent()) {
       break;
@@ -204,12 +258,14 @@ TrialResult Simulation::run() {
         break;
       }
     }
-    if ((injector.has_value() || controller.has_value()) &&
-        metrics.terminalCount() == totalTasks) {
+    if ((injector.has_value() || controller.has_value()) && allTerminal()) {
       break;
     }
   }
   scheduler.finalize(world, now);
+  // The stream is drained and the creation clock is final: settle the
+  // terminals still awaiting their counted/uncounted verdict.
+  metrics.endStreamCounting();
 
   // Machine-seconds cost accounting, recorded for every trial (elastic or
   // fixed) so the utilization/cost report columns always mean the same

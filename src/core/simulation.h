@@ -7,6 +7,7 @@
 #include "core/config.h"
 #include "core/scheduler.h"
 #include "sim/metrics.h"
+#include "workload/stream.h"
 #include "workload/workload.h"
 
 namespace hcs::core {
@@ -38,17 +39,33 @@ struct TrialResult {
 
 /// Runs one workload trial to completion.  Deterministic: the same model,
 /// workload, and config always produce the same result.
+///
+/// Two arrival paths share one engine:
+///  - materialized (a Workload): every task is created and its arrival
+///    event pushed up front — the paper-scale path, byte-identical to every
+///    golden ever recorded;
+///  - streamed (a TaskStream): tasks are created on pop, completed tasks
+///    return their TaskPool slots, warm-up trimming is decided online, and
+///    memory stays bounded by the in-flight window however long the stream
+///    runs.  A streamed trial of the same task sequence produces the
+///    identical TrialResult (only internal TaskIds differ, under slot
+///    reuse).
 class Simulation {
  public:
   /// `model` must outlive run().
   Simulation(const sim::ExecutionModel& model,
              const workload::Workload& workload, SimulationConfig config);
 
+  /// Streamed-arrival trial; `model` and `stream` must outlive run().
+  Simulation(const sim::ExecutionModel& model, workload::TaskStream& stream,
+             SimulationConfig config);
+
   TrialResult run();
 
  private:
   const sim::ExecutionModel& model_;
-  const workload::Workload& workload_;
+  const workload::Workload* workload_ = nullptr;
+  workload::TaskStream* stream_ = nullptr;
   SimulationConfig config_;
 };
 

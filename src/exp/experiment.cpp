@@ -39,14 +39,26 @@ TrialRunner::TrialRunner(const workload::BoundExecutionModel& model,
 
 core::TrialResult TrialRunner::runTrial(std::size_t trial) const {
   const std::uint64_t workloadSeed = spec_->baseSeed + trial;
-  const workload::Workload wl = workload::Workload::generate(
-      model_->matrix(), spec_->arrival, spec_->deadline, workloadSeed);
 
   core::SimulationConfig simConfig = spec_->sim;
   simConfig.executionSeed = executionSeedFor(workloadSeed);
   simConfig.faultSeed = faultSeedFor(workloadSeed);
   simConfig.elasticitySeed = elasticitySeedFor(workloadSeed);
 
+  if (spec_->stream.enabled) {
+    // Bounded-memory path: the trial pulls tasks as it reaches them —
+    // generated (identical to the materialized trial below) or replayed
+    // from an external trace — and never holds more than the in-flight
+    // window.
+    const std::unique_ptr<workload::TaskStream> stream =
+        workload::openTaskStream(spec_->stream, model_->matrix(),
+                                 spec_->arrival, spec_->deadline,
+                                 workloadSeed);
+    return core::Simulation(*model_, *stream, simConfig).run();
+  }
+
+  const workload::Workload wl = workload::Workload::generate(
+      model_->matrix(), spec_->arrival, spec_->deadline, workloadSeed);
   return core::Simulation(*model_, wl, simConfig).run();
 }
 

@@ -12,6 +12,7 @@
 #include "stats/confidence.h"
 #include "stats/running_stats.h"
 #include "workload/pet_matrix.h"
+#include "workload/stream.h"
 #include "workload/workload.h"
 
 namespace hcs::exp {
@@ -20,6 +21,12 @@ struct ExperimentSpec {
   workload::ArrivalSpec arrival;
   workload::DeadlineSpec deadline;
   core::SimulationConfig sim;
+  /// Streamed-arrival mode (the scenario `stream` block): when enabled,
+  /// each trial pulls its tasks from a TaskStream — generated on the fly
+  /// from `arrival`/`deadline` with the trial's workload seed (identical
+  /// results, bounded memory) or replayed from an external trace — instead
+  /// of materializing a Workload up front.
+  workload::StreamSpec stream;
   std::size_t trials = 8;
   /// Trial t uses workload seed baseSeed + t (and a derived execution
   /// seed), so different specs with the same baseSeed see the *same*

@@ -289,6 +289,46 @@ void parseWorkload(const JsonValue& json, ScenarioSpec& spec) {
   wl.done();
 }
 
+void parseStream(const JsonValue& json, ScenarioSpec& spec) {
+  Fields st(json, "stream");
+  auto& s = spec.stream;
+  if (const auto* v = st.get("enabled")) {
+    s.enabled = getBool(*v, "stream.enabled");
+  }
+  if (const auto* v = st.get("max_tasks")) {
+    s.maxTasks = getCount(*v, "stream.max_tasks");
+  }
+  if (const auto* v = st.get("max_time")) {
+    s.maxTime = getNumber(*v, "stream.max_time");
+    if (s.maxTime < 0.0) fail(*v, "stream.max_time: must be >= 0");
+  }
+  const JsonValue* traceKey = st.get("trace");
+  if (traceKey != nullptr) {
+    s.trace = getString(*traceKey, "stream.trace");
+  }
+  if (const auto* v = st.get("format")) {
+    s.format = getString(*v, "stream.format");
+    if (s.format != "hcs" && s.format != "azure" && s.format != "borg") {
+      fail(*v, "stream.format: unknown format \"" + s.format +
+                   "\" (hcs|azure|borg)");
+    }
+    if (s.trace.empty()) {
+      fail(*v, "stream.format: requires stream.trace (generated streams "
+               "take their shape from the workload block)");
+    }
+  }
+  if (const auto* v = st.get("deadline_slack")) {
+    s.deadlineSlack = getNumber(*v, "stream.deadline_slack");
+    if (s.deadlineSlack < 0.0) {
+      fail(*v, "stream.deadline_slack: must be >= 0");
+    }
+  }
+  if (const auto* v = st.get("time_scale")) {
+    s.timeScale = getPositive(*v, "stream.time_scale");
+  }
+  st.done();
+}
+
 void parseSim(const JsonValue& json, ScenarioSpec& spec) {
   Fields sim(json, "sim");
   if (const auto* v = sim.get("heuristic")) {
@@ -837,6 +877,7 @@ ScenarioSpec parseScenarioSpec(const JsonValue& json) {
   if (const auto* v = top.get("pet")) parsePet(*v, spec);
   if (const auto* v = top.get("cluster")) parseCluster(*v, spec);
   if (const auto* v = top.get("workload")) parseWorkload(*v, spec);
+  if (const auto* v = top.get("stream")) parseStream(*v, spec);
   if (const auto* v = top.get("sim")) parseSim(*v, spec);
   if (const auto* v = top.get("faults")) parseFaults(*v, spec);
   if (const auto* v = top.get("federation")) parseFederation(*v, spec);
@@ -931,6 +972,21 @@ util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
   deadline.set("beta", pair(spec.deadline.betaLo, spec.deadline.betaHi));
   wl.set("deadline", std::move(deadline));
   root.set("workload", std::move(wl));
+
+  JsonValue stream = JsonValue::makeObject();
+  stream.set("enabled", spec.stream.enabled);
+  stream.set("max_tasks", spec.stream.maxTasks);
+  stream.set("max_time", spec.stream.maxTime);
+  // trace/format emitted only for trace replay: "format" without "trace"
+  // is a parse error, so the canonical form of a generated stream must
+  // omit both for the round trip to hold.
+  if (!spec.stream.trace.empty()) {
+    stream.set("trace", spec.stream.trace);
+    stream.set("format", spec.stream.format);
+  }
+  stream.set("deadline_slack", spec.stream.deadlineSlack);
+  stream.set("time_scale", spec.stream.timeScale);
+  root.set("stream", std::move(stream));
 
   JsonValue sim = JsonValue::makeObject();
   sim.set("heuristic", spec.heuristic);
@@ -1163,6 +1219,7 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
                              : static_cast<std::size_t>(spec.warmup);
   }
   e.deadline = spec.deadline;
+  e.stream = spec.stream;
   e.trials = spec.trials;
   e.jobs = spec.jobs;
   e.baseSeed = spec.seed;

@@ -79,6 +79,16 @@ struct ScenarioSpec {
   double burstSpan = 400.0;
   workload::DeadlineSpec deadline;
 
+  // --- stream ---
+  /// Bounded-memory arrival mode (scenario `stream` block).  When enabled,
+  /// every trial pulls its tasks from a TaskStream instead of materializing
+  /// the full workload: generated on the fly (identical results to the
+  /// materialized trial) or replayed from an external trace file
+  /// (stream.trace + stream.format).  max_tasks / max_time cut the stream
+  /// short, which is how a scenario replays "the first N tasks" of a
+  /// million-task trace.
+  workload::StreamSpec stream;
+
   // --- sim ---
   std::string heuristic = "MM";
   heuristics::HeuristicOptions heuristicOptions;

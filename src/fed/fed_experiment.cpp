@@ -21,8 +21,6 @@ exp::ExperimentResult runFederatedExperiment(
   std::vector<core::TrialResult> outcomes(spec.trials);
   exp::ParallelExecutor(spec.jobs).run(spec.trials, [&](std::size_t trial) {
     const std::uint64_t workloadSeed = spec.baseSeed + trial;
-    const workload::Workload wl = workload::Workload::generate(
-        models[0]->matrix(), spec.arrival, spec.deadline, workloadSeed);
 
     core::SimulationConfig simConfig = spec.sim;
     simConfig.executionSeed = exp::executionSeedFor(workloadSeed);
@@ -31,6 +29,18 @@ exp::ExperimentResult runFederatedExperiment(
 
     std::vector<const sim::ExecutionModel*> clusterModels(models.begin(),
                                                           models.end());
+    if (spec.stream.enabled) {
+      const std::unique_ptr<workload::TaskStream> stream =
+          workload::openTaskStream(spec.stream, models[0]->matrix(),
+                                   spec.arrival, spec.deadline, workloadSeed);
+      outcomes[trial] = FederatedSimulation(std::move(clusterModels), *stream,
+                                            simConfig, fed)
+                            .run()
+                            .total;
+      return;
+    }
+    const workload::Workload wl = workload::Workload::generate(
+        models[0]->matrix(), spec.arrival, spec.deadline, workloadSeed);
     outcomes[trial] =
         FederatedSimulation(std::move(clusterModels), wl, simConfig, fed)
             .run()

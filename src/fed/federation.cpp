@@ -95,9 +95,24 @@ FederatedSimulation::FederatedSimulation(
     const workload::Workload& workload, core::SimulationConfig config,
     FederationSpec spec)
     : models_(std::move(models)),
-      workload_(workload),
+      workload_(&workload),
       config_(std::move(config)),
       spec_(std::move(spec)) {
+  validate(workload.numTaskTypes());
+}
+
+FederatedSimulation::FederatedSimulation(
+    std::vector<const sim::ExecutionModel*> models,
+    workload::TaskStream& stream, core::SimulationConfig config,
+    FederationSpec spec)
+    : models_(std::move(models)),
+      stream_(&stream),
+      config_(std::move(config)),
+      spec_(std::move(spec)) {
+  validate(stream.numTaskTypes());
+}
+
+void FederatedSimulation::validate(int numTaskTypes) {
   if (spec_.clusters == 0) {
     throw std::invalid_argument("FederatedSimulation: need >= 1 cluster");
   }
@@ -109,7 +124,7 @@ FederatedSimulation::FederatedSimulation(
     if (model == nullptr) {
       throw std::invalid_argument("FederatedSimulation: null cluster model");
     }
-    if (model->numTaskTypes() != workload.numTaskTypes()) {
+    if (model->numTaskTypes() != numTaskTypes) {
       throw std::invalid_argument(
           "FederatedSimulation: workload / model task-type count mismatch");
     }
@@ -128,29 +143,40 @@ FederatedSimulation::FederatedSimulation(
 }
 
 FederatedTrialResult FederatedSimulation::run() {
+  const bool streamingMode = stream_ != nullptr;
   const double binWidth = models_[0]->pet(0, 0).binWidth();
   const bool batchMode =
       core::allocationModeFor(config_) == core::AllocationMode::Batch;
   const std::size_t n = spec_.clusters;
   const int numTaskTypes = models_[0]->numTaskTypes();
 
-  // One global task pool: ids are creation-order indices of the arrival
-  // stream, exactly as core::Simulation numbers them.
+  // One global task pool: materialized, ids are creation-order indices of
+  // the arrival stream, exactly as core::Simulation numbers them; streamed,
+  // tasks are created as the gateway reaches them and terminal tasks give
+  // their slots back.
   sim::TaskPool pool;
-  std::vector<sim::TaskId> ids;
-  ids.reserve(workload_.size());
-  for (const workload::TaskSpec& spec : workload_.tasks()) {
-    ids.push_back(
-        pool.create(spec.type, spec.arrival, spec.deadline, spec.value));
+  if (streamingMode) {
+    pool.enableRecycling();
+  } else {
+    for (const workload::TaskSpec& spec : workload_->tasks()) {
+      pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
+    }
   }
-  const std::vector<bool> countedMask =
-      workload_.countedMask(config_.warmupMargin);
+  std::vector<bool> countedMask;
+  if (!streamingMode) {
+    countedMask = workload_->countedMask(config_.warmupMargin);
+  }
 
   // Gateway-level accounting (rejections, spillovers) and the retry heap
   // live above every cluster; the heap is declared before the clusters so
   // each scheduler's retryHook can capture it.
   sim::Metrics gatewayMetrics(numTaskTypes);
-  gatewayMetrics.setCounted(countedMask);
+  if (streamingMode) {
+    gatewayMetrics.enableOnlineCounting(config_.warmupMargin,
+                                        pool.createdClock());
+  } else {
+    gatewayMetrics.setCounted(countedMask);
+  }
   std::priority_queue<PendingRetry, std::vector<PendingRetry>, RetryLater>
       retries;
   std::uint64_t retrySeq = 0;
@@ -172,7 +198,15 @@ FederatedTrialResult FederatedSimulation::run() {
                                /*lazyTailRebuild=*/config_.pctCacheEnabled);
     }
     cl.metrics = sim::Metrics(numTaskTypes);
-    cl.metrics.setCounted(countedMask);
+    if (streamingMode) {
+      // All sections share the pool's creation clock: a terminal's counted
+      // verdict depends on the global arrival ordinal, not on which cluster
+      // (or the gateway) recorded it.
+      cl.metrics.enableOnlineCounting(config_.warmupMargin,
+                                      pool.createdClock());
+    } else {
+      cl.metrics.setCounted(countedMask);
+    }
     cl.config = config_;
     // Resolve this cluster's controller config up front: the scheduler's
     // config copy must see it (it gates the immediate-mode unmappable-task
@@ -313,6 +347,9 @@ FederatedTrialResult FederatedSimulation::run() {
         t.status = sim::TaskStatus::Rejected;
         t.finishTime = when;
         gatewayMetrics.recordTerminal(t);
+        // Terminal at the gateway, never entered a cluster: recycle the
+        // slot (streaming mode; no-op otherwise).
+        pool.retire(id);
         return;
       }
     }
@@ -335,17 +372,24 @@ FederatedTrialResult FederatedSimulation::run() {
   // the single-cluster engine), retries beat cluster events at equal times
   // (they are gateway arrivals too), and cluster ties break toward the
   // lowest index.
-  const std::vector<workload::TaskSpec>& stream = workload_.tasks();
+  const std::vector<workload::TaskSpec>* materialized =
+      streamingMode ? nullptr : &workload_->tasks();
   std::size_t cursor = 0;
+  const auto peekArrival = [&]() -> const workload::TaskSpec* {
+    if (streamingMode) return stream_->peek();
+    return cursor < materialized->size() ? &(*materialized)[cursor] : nullptr;
+  };
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
   // With churn active, every cluster's fail/repair process re-arms on each
   // transition and its queue never drains — and controller ticks recur
   // forever the same way; the trial is over once every task reached a
-  // terminal state somewhere in the federation.
+  // terminal state somewhere in the federation.  A streamed trial is over
+  // once the stream is dry AND everything created went terminal.
   auto allTasksTerminal = [&] {
+    if (streamingMode && stream_->peek() != nullptr) return false;
     std::size_t terminal = gatewayMetrics.terminalCount();
     for (const Cluster& cl : clusters) terminal += cl.metrics.terminalCount();
-    return terminal == pool.size();
+    return terminal == static_cast<std::size_t>(pool.createdCount());
   };
   while (true) {
     if ((faultsActive || controllersActive) && allTasksTerminal()) break;
@@ -359,16 +403,23 @@ FederatedTrialResult FederatedSimulation::run() {
         nextEventTime = t;
       }
     }
-    const bool haveArrival = cursor < stream.size();
+    const workload::TaskSpec* nextArrival = peekArrival();
+    const bool haveArrival = nextArrival != nullptr;
     const bool haveRetry = !retries.empty();
     if (!haveArrival && !haveRetry && nextCluster == kNone) break;
 
     if (haveArrival &&
-        (!haveRetry || stream[cursor].arrival <= retries.top().at) &&
-        (nextCluster == kNone || stream[cursor].arrival <= nextEventTime)) {
-      const sim::TaskId id = ids[cursor];
-      now = stream[cursor].arrival;
-      ++cursor;
+        (!haveRetry || nextArrival->arrival <= retries.top().at) &&
+        (nextCluster == kNone || nextArrival->arrival <= nextEventTime)) {
+      now = nextArrival->arrival;
+      sim::TaskId id;
+      if (streamingMode) {
+        const workload::TaskSpec spec = stream_->pop();
+        id = pool.create(spec.type, spec.arrival, spec.deadline, spec.value);
+      } else {
+        id = static_cast<sim::TaskId>(cursor);  // create() numbered 0..N-1
+        ++cursor;
+      }
       admitAndDispatch(id, now);
       continue;
     }
@@ -485,6 +536,10 @@ FederatedTrialResult FederatedSimulation::run() {
     core::World world = worldOf(c);
     clusters[c].scheduler->finalize(world, now);
   }
+  // Stream drained, creation clock final: settle every section's pending
+  // counted/uncounted verdicts before any merge reads them.
+  gatewayMetrics.endStreamCounting();
+  for (Cluster& cl : clusters) cl.metrics.endStreamCounting();
 
   FederatedTrialResult result;
   result.total.metrics = sim::Metrics(numTaskTypes);

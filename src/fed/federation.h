@@ -39,6 +39,7 @@
 #include "sim/metrics.h"
 #include "sim/task.h"
 #include "sim/trace.h"
+#include "workload/stream.h"
 #include "workload/workload.h"
 
 namespace hcs::fed {
@@ -95,6 +96,12 @@ struct FederatedTrialResult {
 
 /// Runs one workload trial through the federation.  Deterministic: the same
 /// models, workload, config, and spec always produce the same result.
+///
+/// Like core::Simulation, the gateway accepts either a materialized
+/// Workload (every task created up front, ids = arrival indices) or a
+/// TaskStream (tasks created as the gateway reaches them, slots recycled on
+/// terminal states, warm-up trimming decided online) — the streamed trial
+/// reproduces the materialized TrialResult exactly.
 class FederatedSimulation {
  public:
   /// `models` (one per cluster, all sharing the workload's task-type count
@@ -103,11 +110,20 @@ class FederatedSimulation {
                       const workload::Workload& workload,
                       core::SimulationConfig config, FederationSpec spec);
 
+  /// Streamed-arrival federated trial; `models` and `stream` must outlive
+  /// run().
+  FederatedSimulation(std::vector<const sim::ExecutionModel*> models,
+                      workload::TaskStream& stream,
+                      core::SimulationConfig config, FederationSpec spec);
+
   FederatedTrialResult run();
 
  private:
+  void validate(int numTaskTypes);
+
   std::vector<const sim::ExecutionModel*> models_;
-  const workload::Workload& workload_;
+  const workload::Workload* workload_ = nullptr;
+  workload::TaskStream* stream_ = nullptr;
   core::SimulationConfig config_;
   FederationSpec spec_;
 };

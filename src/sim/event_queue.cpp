@@ -7,6 +7,7 @@ namespace hcs::sim {
 
 void EventQueue::push(Time time, EventKind kind, TaskId task,
                       MachineId machine) {
+  if (pos_.size() >= compactAt_) compact();
   Event e;
   e.time = time;
   e.kind = kind;
@@ -16,8 +17,28 @@ void EventQueue::push(Time time, EventKind kind, TaskId task,
   pos_.push_back(kNotInHeap);
   heap_.push_back(std::move(e));
   const std::size_t i = heap_.size() - 1;
-  pos_[heap_[i].seq] = static_cast<std::uint32_t>(i);
+  pos_[heap_[i].seq - posBase_] = static_cast<std::uint32_t>(i);
   siftUp(i);
+}
+
+void EventQueue::compact() {
+  // Slide the position window past the dead prefix: everything before the
+  // oldest live seq can never be cancelled again (cancel of a dead seq is a
+  // no-op by contract).  The O(heap) scan is amortized by doubling the next
+  // trigger, and the pop order is untouched — this is pure bookkeeping.
+  if (heap_.empty()) {
+    pos_.clear();
+    posBase_ = nextSeq_;
+  } else {
+    std::uint64_t minSeq = heap_.front().seq;
+    for (const Event& e : heap_) {
+      if (e.seq < minSeq) minSeq = e.seq;
+    }
+    pos_.erase(pos_.begin(),
+               pos_.begin() + static_cast<std::ptrdiff_t>(minSeq - posBase_));
+    posBase_ = minSeq;
+  }
+  compactAt_ = pos_.size() * 2 > 1024 ? pos_.size() * 2 : 1024;
 }
 
 Event EventQueue::pop() {
@@ -36,14 +57,16 @@ std::optional<Event> EventQueue::tryPop() {
 }
 
 void EventQueue::cancel(std::uint64_t seq) {
-  if (seq >= pos_.size()) return;  // never pushed
-  const std::uint32_t i = pos_[seq];
+  if (seq < posBase_) return;  // dead prefix, long since popped or cancelled
+  const std::uint64_t idx = seq - posBase_;
+  if (idx >= pos_.size()) return;  // never pushed
+  const std::uint32_t i = pos_[idx];
   if (i == kNotInHeap) return;  // already popped or already cancelled
   removeAt(i);
 }
 
 void EventQueue::removeAt(std::size_t i) {
-  pos_[heap_[i].seq] = kNotInHeap;
+  pos_[heap_[i].seq - posBase_] = kNotInHeap;
   const std::size_t last = heap_.size() - 1;
   if (i != last) {
     place(i, std::move(heap_[last]));

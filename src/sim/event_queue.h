@@ -78,6 +78,12 @@ class EventQueue {
   /// remember a completion event so they can cancel it.
   std::uint64_t nextSeq() const { return nextSeq_; }
 
+  /// Width of the position-index window (a memory-bound test hook): the
+  /// span from the oldest live event's seq to nextSeq().  Amortized
+  /// compaction keeps this proportional to the live-event count rather
+  /// than the total pushes of the trial.
+  std::size_t posWindow() const { return pos_.size(); }
+
  private:
   static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
 
@@ -89,16 +95,21 @@ class EventQueue {
   void siftUp(std::size_t i);
   void siftDown(std::size_t i);
   void removeAt(std::size_t i);
+  void compact();
   void place(std::size_t i, Event e) {
-    pos_[e.seq] = static_cast<std::uint32_t>(i);
+    pos_[e.seq - posBase_] = static_cast<std::uint32_t>(i);
     heap_[i] = std::move(e);
   }
 
   std::vector<Event> heap_;
-  /// pos_[seq] = heap index of that event, or kNotInHeap once it popped or
-  /// was cancelled.  Sequence numbers are dense (one per push), so a flat
-  /// vector replaces the hash probe on every cancel.
+  /// pos_[seq - posBase_] = heap index of that event, or kNotInHeap once it
+  /// popped or was cancelled.  Sequence numbers are dense (one per push),
+  /// so a flat vector replaces the hash probe on every cancel; the window
+  /// slides forward (posBase_) via amortized compaction so a long stream's
+  /// dead prefix is reclaimed instead of growing 4 bytes per push forever.
   std::vector<std::uint32_t> pos_;
+  std::uint64_t posBase_ = 0;
+  std::size_t compactAt_ = 1024;
   std::uint64_t nextSeq_ = 0;
 };
 

@@ -17,21 +17,16 @@ bool Metrics::isCounted(TaskId id) const {
   return idx < counted_.size() && counted_[idx];
 }
 
-void Metrics::recordTerminal(const Task& task) {
-  if (!isTerminal(task.status)) {
-    throw std::logic_error("Metrics::recordTerminal: task not terminal");
-  }
-  ++terminalTotal_;
-  if (!isCounted(task.id)) return;
+void Metrics::applyCounted(const PendingTerminal& p) {
   ++countedTotal_;
-  countedValue_ += task.value;
-  if (task.status == TaskStatus::CompletedOnTime) onTimeValue_ += task.value;
-  auto& type = perType_[static_cast<std::size_t>(task.type)];
-  switch (task.status) {
+  countedValue_ += p.value;
+  if (p.status == TaskStatus::CompletedOnTime) onTimeValue_ += p.value;
+  auto& type = perType_[static_cast<std::size_t>(p.type)];
+  switch (p.status) {
     case TaskStatus::CompletedOnTime:
       ++type.completedOnTime;
       ++totals_.completedOnTime;
-      if (task.failures > 0) ++failedThenMet_;
+      if (p.hadFailures) ++failedThenMet_;
       break;
     case TaskStatus::CompletedLate:
       ++type.completedLate;
@@ -58,7 +53,69 @@ void Metrics::recordTerminal(const Task& task) {
   }
 }
 
+void Metrics::recordTerminal(const Task& task) {
+  if (!isTerminal(task.status)) {
+    throw std::logic_error("Metrics::recordTerminal: task not terminal");
+  }
+  ++terminalTotal_;
+  if (online_) {
+    pending_.push_back({task.ordinal, task.type, task.status, task.value,
+                        task.failures > 0});
+    flushPending(false);
+    return;
+  }
+  if (!isCounted(task.id)) return;
+  applyCounted({task.ordinal, task.type, task.status, task.value,
+                task.failures > 0});
+}
+
+void Metrics::enableOnlineCounting(std::size_t margin,
+                                   const std::uint64_t* createdClock) {
+  if (createdClock == nullptr) {
+    throw std::invalid_argument("enableOnlineCounting: null creation clock");
+  }
+  online_ = true;
+  margin_ = margin;
+  createdClock_ = createdClock;
+  counted_.clear();
+}
+
+void Metrics::flushPending(bool streamEnded) {
+  // Verdicts are settled strictly from the FIFO head so counted accounting
+  // runs in recordTerminal-call order — the same fold order the materialized
+  // mask produces, keeping the double sums bitwise identical.
+  const std::uint64_t clock = *createdClock_;
+  while (!pending_.empty()) {
+    const PendingTerminal& p = pending_.front();
+    if (p.ordinal < margin_) {  // warm-up: never counted
+      pending_.pop_front();
+      continue;
+    }
+    // Counted iff ordinal < total - margin.  Mid-stream, total >= clock, so
+    // clock > ordinal + margin already proves it; at stream end the clock IS
+    // the total.
+    if (clock > p.ordinal + margin_) {
+      applyCounted(p);
+      pending_.pop_front();
+      continue;
+    }
+    if (!streamEnded) return;  // verdict unknown; later entries must wait
+    pending_.pop_front();      // cool-down: not counted
+  }
+}
+
+void Metrics::endStreamCounting() {
+  if (!online_) return;
+  flushPending(true);
+  online_ = false;
+}
+
 void Metrics::merge(const Metrics& other) {
+  if (!pending_.empty() || !other.pending_.empty()) {
+    throw std::logic_error(
+        "Metrics::merge: endStreamCounting() must settle pending terminals "
+        "before merging");
+  }
   if (perType_.size() < other.perType_.size()) {
     perType_.resize(other.perType_.size());
   }

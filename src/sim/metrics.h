@@ -2,6 +2,8 @@
 // Per-trial outcome accounting.
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/task.h"
@@ -75,6 +77,27 @@ class Metrics {
 
   /// Marks task ids excluded from robustness (warm-up / cool-down trimming).
   void setCounted(std::vector<bool> counted) { counted_ = std::move(counted); }
+
+  /// Streaming replacement for setCounted: warm-up trimming decided online,
+  /// without an O(total-tasks) mask.  A terminal task with ordinal `o` is
+  /// counted iff `margin <= o < total - margin` — but `total` is unknown
+  /// until the stream ends, so terminals sit in a bounded FIFO until the
+  /// creation clock proves the cool-down margin can't reach them
+  /// (`*createdClock > o + margin`), and endStreamCounting() settles the
+  /// rest.  Counted accounting is applied in recordTerminal-call order
+  /// either way, so every sum matches the materialized mask bit for bit.
+  /// `createdClock` (TaskPool::createdClock()) must outlive the Metrics.
+  void enableOnlineCounting(std::size_t margin,
+                            const std::uint64_t* createdClock);
+
+  /// Resolves terminals still pending when the stream is exhausted: the
+  /// creation clock is now the trial's total.  Call after the event loop,
+  /// before reading any counted metric.
+  void endStreamCounting();
+
+  /// Terminals awaiting a counted/uncounted verdict (bounded by the warm-up
+  /// margin plus the in-flight window; a memory-bound test hook).
+  std::size_t pendingTerminalCount() const { return pending_.size(); }
 
   /// Folds another trial-section's counters into this one — the federation
   /// tier aggregates per-cluster metrics into a trial total with it.  The
@@ -152,6 +175,18 @@ class Metrics {
  private:
   bool isCounted(TaskId id) const;
 
+  /// One terminal outcome parked until its counted verdict is known.
+  struct PendingTerminal {
+    std::uint64_t ordinal;
+    TaskType type;
+    TaskStatus status;
+    double value;
+    bool hadFailures;
+  };
+
+  void applyCounted(const PendingTerminal& p);
+  void flushPending(bool streamEnded);
+
   std::vector<TypeOutcomes> perType_;
   TypeOutcomes totals_;
   std::vector<bool> counted_;  ///< empty = count everything
@@ -168,6 +203,10 @@ class Metrics {
   std::size_t scaleDowns_ = 0;
   double countedValue_ = 0.0;
   double onTimeValue_ = 0.0;
+  std::deque<PendingTerminal> pending_;
+  const std::uint64_t* createdClock_ = nullptr;
+  std::size_t margin_ = 0;
+  bool online_ = false;
 };
 
 }  // namespace hcs::sim

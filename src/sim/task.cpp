@@ -38,15 +38,28 @@ std::string_view toString(TaskStatus s) {
 
 TaskId TaskPool::create(TaskType type, Time arrival, Time deadline,
                         double value) {
-  const TaskId id = static_cast<TaskId>(tasks_.size());
   Task t;
-  t.id = id;
+  t.ordinal = created_++;
   t.type = type;
   t.arrival = arrival;
   t.deadline = deadline;
   t.value = value;
+  if (recycling_ && !freeSlots_.empty()) {
+    const TaskId id = freeSlots_.back();
+    freeSlots_.pop_back();
+    t.id = id;
+    tasks_[static_cast<std::size_t>(id)] = t;
+    return id;
+  }
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  t.id = id;
   tasks_.push_back(t);
   return id;
+}
+
+void TaskPool::retire(TaskId id) {
+  if (!recycling_) return;
+  freeSlots_.push_back(id);
 }
 
 }  // namespace hcs::sim

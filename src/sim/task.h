@@ -2,6 +2,7 @@
 // Task model and lifecycle.
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -33,6 +34,11 @@ std::string_view toString(TaskStatus s);
 
 struct Task {
   TaskId id = kInvalidTask;
+  /// Creation sequence number, monotone across the trial.  Equal to `id`
+  /// until the pool recycles slots (streaming mode), after which `id` is a
+  /// slot index and `ordinal` is the task's position in the arrival
+  /// sequence — what warm-up trimming and trace labels key on.
+  std::uint64_t ordinal = 0;
   TaskType type = 0;
   Time arrival = 0;
   Time deadline = 0;
@@ -55,10 +61,26 @@ struct Task {
 };
 
 /// Owns every task of a trial; TaskIds index into it.
+///
+/// By default the pool only grows — every created task keeps its slot, and
+/// `id == ordinal`.  A streamed trial calls enableRecycling() so that
+/// retire()d (terminal) tasks return their slots to a free list and memory
+/// stays bounded by the in-flight window: the slab then indexes by slot
+/// (the BatchQueue position-index trick applied to task storage), while
+/// `ordinal` keeps the arrival-sequence identity.
 class TaskPool {
  public:
   TaskId create(TaskType type, Time arrival, Time deadline,
                 double value = 1.0);
+
+  /// Switches the pool to slot-reusing (streaming) mode.  Must be called
+  /// before the first create().
+  void enableRecycling() { recycling_ = true; }
+
+  /// Returns a terminal task's slot to the free list.  No-op unless
+  /// recycling is enabled, so engine code calls it unconditionally.  The
+  /// caller guarantees no live references or pending events point at `id`.
+  void retire(TaskId id);
 
   Task& operator[](TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
   const Task& operator[](TaskId id) const {
@@ -68,8 +90,20 @@ class TaskPool {
   std::size_t size() const { return tasks_.size(); }
   const std::vector<Task>& all() const { return tasks_; }
 
+  /// Tasks ever created (monotone; = size() when not recycling).
+  std::uint64_t createdCount() const { return created_; }
+  /// Stable pointer to the creation counter — the clock online Metrics
+  /// counting reads to decide when warm-up margins are settled.
+  const std::uint64_t* createdClock() const { return &created_; }
+  /// Allocated slots (the memory footprint; ≪ createdCount() when
+  /// recycling a long stream).
+  std::size_t slotCount() const { return tasks_.size(); }
+
  private:
   std::vector<Task> tasks_;
+  std::vector<TaskId> freeSlots_;
+  std::uint64_t created_ = 0;
+  bool recycling_ = false;
 };
 
 }  // namespace hcs::sim

@@ -1,11 +1,58 @@
 #include "workload/trace_io.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace hcs::workload {
+
+namespace {
+
+[[noreturn]] void failAt(const std::string& path, std::size_t lineNo,
+                         const std::string& what) {
+  throw std::runtime_error(path + ": " + what + " on line " +
+                           std::to_string(lineNo));
+}
+
+std::uint64_t fnv1a(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::vector<std::string> splitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool parseDouble(const std::string& field, double& out) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+}  // namespace
 
 void saveWorkload(const Workload& workload, std::ostream& out) {
   out << "hcs-workload v2 " << workload.numTaskTypes() << "\n";
@@ -64,6 +111,148 @@ Workload loadWorkloadFile(const std::string& path) {
     throw std::runtime_error("loadWorkloadFile: cannot open " + path);
   }
   return loadWorkload(in);
+}
+
+TraceTaskStream::Opened TraceTaskStream::open(const std::string& path) {
+  Opened opened;
+  opened.in.open(path);
+  if (!opened.in) {
+    throw std::runtime_error("TraceTaskStream: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(opened.in, line)) {
+    throw std::runtime_error("TraceTaskStream: " + path + " is empty");
+  }
+  std::istringstream header(line);
+  std::string magic, version;
+  header >> magic >> version >> opened.numTaskTypes;
+  if (magic != "hcs-workload" || (version != "v1" && version != "v2") ||
+      opened.numTaskTypes <= 0) {
+    throw std::runtime_error("TraceTaskStream: bad header in " + path + ": " +
+                             line);
+  }
+  opened.hasValues = version == "v2";
+  return opened;
+}
+
+TraceTaskStream::TraceTaskStream(const std::string& path)
+    : TraceTaskStream(open(path), path) {}
+
+TraceTaskStream::TraceTaskStream(Opened opened, std::string path)
+    : TaskStream(opened.numTaskTypes),
+      in_(std::move(opened.in)),
+      path_(std::move(path)),
+      hasValues_(opened.hasValues),
+      lineNo_(opened.lineNo) {}
+
+bool TraceTaskStream::produce(TaskSpec& out) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++lineNo_;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream row(line);
+    TaskSpec t;
+    if (!(row >> t.type >> t.arrival >> t.deadline)) {
+      failAt(path_, lineNo_, "malformed record");
+    }
+    if (hasValues_ && !(row >> t.value)) {
+      failAt(path_, lineNo_, "truncated record (missing value)");
+    }
+    if (t.type < 0 || t.type >= numTaskTypes()) {
+      failAt(path_, lineNo_, "task type out of range");
+    }
+    if (t.deadline < t.arrival) {
+      failAt(path_, lineNo_, "deadline precedes arrival");
+    }
+    if (t.value <= 0.0) {
+      failAt(path_, lineNo_, "non-positive task value");
+    }
+    if (!firstRecord_ && t.arrival < lastArrival_) {
+      failAt(path_, lineNo_, "out-of-order arrival");
+    }
+    firstRecord_ = false;
+    lastArrival_ = t.arrival;
+    out = t;
+    return true;
+  }
+  return false;
+}
+
+CsvTaskStream::CsvTaskStream(const std::string& path, CsvTraceFormat format,
+                             const CsvTraceOptions& options)
+    : TaskStream(options.numTaskTypes),
+      path_(path),
+      format_(format),
+      options_(options) {
+  if (options_.deadlineSlack < 0.0) {
+    throw std::invalid_argument("CsvTaskStream: deadlineSlack must be >= 0");
+  }
+  if (options_.timeScale <= 0.0) {
+    throw std::invalid_argument("CsvTaskStream: timeScale must be positive");
+  }
+  in_.open(path);
+  if (!in_) {
+    throw std::runtime_error("CsvTaskStream: cannot open " + path);
+  }
+}
+
+bool CsvTaskStream::produce(TaskSpec& out) {
+  const std::size_t needed = format_ == CsvTraceFormat::Azure ? 3 : 4;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++lineNo_;
+    if (line.empty() || line.front() == '#') continue;
+    const std::vector<std::string> fields = splitCsv(line);
+    double timestamp = 0.0;
+    if (!checkedHeader_) {
+      checkedHeader_ = true;
+      // One leading non-numeric line is a column header; skip it.
+      if (!parseDouble(fields.front(), timestamp)) continue;
+    }
+    if (fields.size() < needed) {
+      failAt(path_, lineNo_, "truncated record (expected " +
+                                 std::to_string(needed) + " fields, got " +
+                                 std::to_string(fields.size()) + ")");
+    }
+    if (!parseDouble(fields[0], timestamp)) {
+      failAt(path_, lineNo_, "malformed timestamp");
+    }
+    const std::string& key = fields[1];
+    double runtime = 0.0;
+    double value = 1.0;
+    if (format_ == CsvTraceFormat::Azure) {
+      if (!parseDouble(fields[2], runtime)) {
+        failAt(path_, lineNo_, "malformed duration");
+      }
+    } else {
+      double priority = 0.0;
+      if (!parseDouble(fields[2], priority)) {
+        failAt(path_, lineNo_, "malformed priority");
+      }
+      if (!parseDouble(fields[3], runtime)) {
+        failAt(path_, lineNo_, "malformed runtime");
+      }
+      value = std::max(1.0, priority);
+    }
+    if (runtime < 0.0) {
+      failAt(path_, lineNo_, "negative runtime");
+    }
+    TaskSpec t;
+    t.type = static_cast<sim::TaskType>(
+        fnv1a(key) % static_cast<std::uint64_t>(numTaskTypes()));
+    t.arrival = timestamp * options_.timeScale;
+    t.deadline = t.arrival + options_.deadlineSlack * runtime *
+                                 options_.timeScale;
+    t.value = value;
+    if (!firstRecord_ && t.arrival < lastArrival_) {
+      failAt(path_, lineNo_, "out-of-order arrival");
+    }
+    firstRecord_ = false;
+    lastArrival_ = t.arrival;
+    out = t;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace hcs::workload

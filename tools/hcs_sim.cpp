@@ -76,6 +76,8 @@ void usage(const char* argv0, std::FILE* out) {
       "  --abort-overdue    abort running tasks at their deadline\n"
       "  --no-pct-cache     disable PCT memoization (results identical)\n"
       "  --no-incremental-map  use the reference mapping engine\n"
+      "  --stream           streamed arrivals: generate tasks as the trial\n"
+      "                     reaches them (bounded memory, same results)\n"
       "  --trace FILE       replay a saved workload trace (single trial)\n"
       "  --save-trace FILE  save trial 0's workload to FILE and exit\n"
       "  --csv              machine-readable output\n",
@@ -280,6 +282,14 @@ int cmdValidate(const char* argv0, int argc, char** argv) {
                  spec.fedClusters,
                  std::string(fed::toString(spec.admission.policy)).c_str());
   }
+  if (spec.stream.enabled) {
+    std::fprintf(stderr, "  stream: %s max_tasks=%zu max_time=%g\n",
+                 spec.stream.trace.empty()
+                     ? "generated"
+                     : (spec.stream.trace + " (" + spec.stream.format + ")")
+                           .c_str(),
+                 spec.stream.maxTasks, spec.stream.maxTime);
+  }
   if (spec.elasticity.active()) {
     int lo = 0, hi = 0;
     for (const sim::ElasticGroup& g : spec.elasticity.pool) {
@@ -314,6 +324,7 @@ int legacyMain(int argc, char** argv) {
   std::uint64_t seed = 2019;
   std::string tracePath;
   std::string saveTracePath;
+  bool stream = false;
   core::SimulationConfig sim;
 
   for (int i = 1; i < argc; ++i) {
@@ -377,6 +388,8 @@ int legacyMain(int argc, char** argv) {
       sim.pctCacheEnabled = false;
     } else if (arg == "--no-incremental-map") {
       sim.incrementalMappingEnabled = false;
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (arg == "--trace") {
       tracePath = next();
     } else if (arg == "--save-trace") {
@@ -422,6 +435,7 @@ int legacyMain(int argc, char** argv) {
     exp::ExperimentSpec spec = scenario.experimentSpec(rate, pattern);
     spec.sim = sim;
     spec.baseSeed = seed;
+    spec.stream.enabled = stream;
     const exp::ExperimentResult result = exp::runExperiment(cluster, spec);
 
     const exp::Table table = exp::experimentMetricsTable(result);
