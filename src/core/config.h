@@ -68,6 +68,20 @@ struct SimulationConfig {
   /// measure the saving and tests can compare both engines.
   bool incrementalMappingEnabled = true;
 
+  /// Adaptive engine selection inside the incremental engine: a mapping
+  /// round whose batch queue holds fewer than this many live tasks runs the
+  /// reference two-phase evaluation (against the SAME persistent context —
+  /// the trial-lifetime ready/exec memos still apply), because the
+  /// delta-evaluation bookkeeping (journal replay, per-type buckets,
+  /// phase-1 diffing) has a fixed per-round cost that only pays for itself
+  /// on wide batches.  At or above the threshold the round runs the full
+  /// incremental path.  Both evaluations are trace-identical, and the rule
+  /// reads nothing but the queue depth — a pure function of simulation
+  /// state, never wall clock — so runs stay deterministic and reports stay
+  /// byte-identical at ANY threshold.  0 = always incremental (the pre-
+  /// adaptive behaviour); ignored when incrementalMappingEnabled is false.
+  std::size_t incrementalMapMinQueue = 16;
+
   /// Accumulate wall-clock time spent in the batch-mapping section of each
   /// mapping event into TrialResult.mappingEngineSeconds (two clock reads
   /// per event).  Off by default — for engine benchmarks only.

@@ -110,6 +110,14 @@ void Scheduler::beginTrial(const World& world) {
       ctx_->attachBatchQueue(&batchQueue_);
     }
   }
+  if (mode_ == AllocationMode::Batch) {
+    // The mutation journal exists for the two-phase heuristics' bucket
+    // sync; when no persistent context (reference engine) or no queue-
+    // consuming heuristic is attached, nobody ever replays it — stop
+    // recording instead of growing an unread log for the whole trial.
+    batchQueue_.setJournalRecording(ctx_.has_value() &&
+                                    batch_->consumesBatchQueue());
+  }
 }
 
 void Scheduler::handleArrival(World& world, sim::TaskId task, sim::Time now) {
@@ -582,14 +590,26 @@ void Scheduler::runBatchMapping(World& world, sim::Time now) {
   // free-slot guard skips the whole round — candidate rebuild, context
   // queries, heuristic call — once the cluster is saturated, which in a
   // burst is every mapping event after the first few.
+  //
+  // Adaptive per-round selection: the delta-evaluation machinery (journal
+  // replay, per-type buckets, phase-1 diffing) has a fixed per-round cost
+  // that only pays for itself on wide batches, so a round whose queue is
+  // shallower than incrementalMapMinQueue hands the heuristic an explicit
+  // candidate span — the reference evaluation, against the same persistent
+  // context — instead of the empty "read the queue" signal.  The rule is a
+  // pure function of the queue depth (never wall clock) and both
+  // evaluations assign identically, so traces and reports are byte-
+  // identical at any threshold.
   batchQueue_.beginEvent();
   const bool queueDirect = batch_->consumesBatchQueue();
   while (!batchQueue_.empty()) {
     if (!anyFreeSlot(world)) break;
     std::span<const sim::TaskId> candidates;
-    if (!queueDirect) {
-      // Heuristics that ignore the indexed queue still get the span of
-      // live, non-deferred tasks in arrival order.
+    const bool wide =
+        queueDirect && batchQueue_.size() >= config_.incrementalMapMinQueue;
+    if (!wide) {
+      // Narrow rounds (and heuristics that ignore the indexed queue) get
+      // the span of live, non-deferred tasks in arrival order.
       batchQueue_.liveCandidates(candidateScratch_);
       if (candidateScratch_.empty()) break;
       candidates = candidateScratch_;

@@ -356,6 +356,10 @@ void parseSim(const JsonValue& json, ScenarioSpec& spec) {
   if (const auto* v = sim.get("incremental_mapping")) {
     spec.incrementalMappingEnabled = getBool(*v, "sim.incremental_mapping");
   }
+  if (const auto* v = sim.get("incremental_map_min_queue")) {
+    spec.incrementalMapMinQueue =
+        getCount(*v, "sim.incremental_map_min_queue");
+  }
   if (const auto* v = sim.get("pruning")) {
     Fields pruning(*v, "sim.pruning");
     auto& p = spec.pruning;
@@ -995,6 +999,7 @@ util::JsonValue scenarioSpecToJson(const ScenarioSpec& spec) {
   sim.set("abort_at_deadline", spec.abortRunningAtDeadline);
   sim.set("pct_cache", spec.pctCacheEnabled);
   sim.set("incremental_mapping", spec.incrementalMappingEnabled);
+  sim.set("incremental_map_min_queue", spec.incrementalMapMinQueue);
   JsonValue pruning = JsonValue::makeObject();
   const auto& p = spec.pruning;
   pruning.set("enabled", p.enabled);
@@ -1232,6 +1237,7 @@ BoundScenario bindScenario(const ScenarioSpec& spec,
   sim.abortRunningAtDeadline = spec.abortRunningAtDeadline;
   sim.pctCacheEnabled = spec.pctCacheEnabled;
   sim.incrementalMappingEnabled = spec.incrementalMappingEnabled;
+  sim.incrementalMapMinQueue = spec.incrementalMapMinQueue;
   sim.faults = spec.faults;
   sim.faults.validate();
 

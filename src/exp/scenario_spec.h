@@ -97,6 +97,11 @@ struct ScenarioSpec {
   bool abortRunningAtDeadline = false;
   bool pctCacheEnabled = true;
   bool incrementalMappingEnabled = true;
+  /// Adaptive-engine threshold (sim.incremental_map_min_queue): mapping
+  /// rounds with fewer queued tasks than this run the reference evaluation;
+  /// 0 forces every round down the incremental path.  Mirrors (and must
+  /// stay in step with) core::SimulationConfig::incrementalMapMinQueue.
+  std::size_t incrementalMapMinQueue = 16;
 
   // --- faults ---
   /// Machine churn + retry policy (scenario `faults` block).  The default

@@ -4,29 +4,70 @@
 #include <limits>
 #include <vector>
 
+#include "prob/kernels.h"
+
+
 namespace hcs::heuristics {
 
 TwoPhaseBatchHeuristic::Phase1Result TwoPhaseBatchHeuristic::scanPhase1(
-    const MappingContext& ctx, sim::TaskType type) const {
+    const MappingContext& ctx, sim::TaskType type) {
   constexpr double kNoSecond = std::numeric_limits<double>::infinity();
   const int m = ctx.numMachines();
   Phase1Result phase1;
   phase1.secondEct = kNoSecond;
-  for (sim::MachineId j = 0; j < m; ++j) {
-    if (slots_[static_cast<std::size_t>(j)] == 0) continue;
-    const double ect = virtualReady_[static_cast<std::size_t>(j)] +
-                       ctx.expectedExec(type, j);
-    if (phase1.machine == sim::kInvalidMachine) {
-      phase1.machine = j;
-      phase1.ect = ect;
-    } else if (ect < phase1.ect) {
-      phase1.secondEct = phase1.ect;
-      phase1.secondMachine = phase1.machine;
-      phase1.machine = j;
-      phase1.ect = ect;
-    } else if (ect < phase1.secondEct) {
-      phase1.secondEct = ect;
-      phase1.secondMachine = j;
+  if (soaActive_) {
+    if (eligibleCount_ == 1) {
+      // One free lane (the oversubscribed steady state: each completion
+      // frees one slot): the scan's result is that machine with no
+      // runner-up — exactly what the loop below computes, minus the loop.
+      const auto j = static_cast<sim::MachineId>(soleEligible_);
+      const double ect = virtualReady_[soleEligible_] +
+                         ctx.expectedExec(type, j);
+      return Phase1Result{j, ect, ect, j};
+    }
+    // Machine-axis SoA: one kernel pass prices all machines off the
+    // contiguous ready / exec / mask rows, then the top-2 selection walks
+    // the dense result.  Masked lanes hold +inf and are skipped outright
+    // (an all-masked row must yield "no machine", never an infinite-ECT
+    // winner); the strict-less updates keep the earlier machine on ties —
+    // the scalar loop's exact semantics.
+    const auto mz = static_cast<std::size_t>(m);
+    prob::kernels::ectRow(virtualReady_.data(), ctx.execRow(type),
+                          slotMask_.data(), ectScratch_.data(), mz);
+    for (std::size_t jz = 0; jz < mz; ++jz) {
+      if (slotMask_[jz] != 0.0) continue;
+      const auto j = static_cast<sim::MachineId>(jz);
+      const double ect = ectScratch_[jz];
+      if (phase1.machine == sim::kInvalidMachine) {
+        phase1.machine = j;
+        phase1.ect = ect;
+      } else if (ect < phase1.ect) {
+        phase1.secondEct = phase1.ect;
+        phase1.secondMachine = phase1.machine;
+        phase1.machine = j;
+        phase1.ect = ect;
+      } else if (ect < phase1.secondEct) {
+        phase1.secondEct = ect;
+        phase1.secondMachine = j;
+      }
+    }
+  } else {
+    for (sim::MachineId j = 0; j < m; ++j) {
+      if (slots_[static_cast<std::size_t>(j)] == 0) continue;
+      const double ect = virtualReady_[static_cast<std::size_t>(j)] +
+                         ctx.expectedExec(type, j);
+      if (phase1.machine == sim::kInvalidMachine) {
+        phase1.machine = j;
+        phase1.ect = ect;
+      } else if (ect < phase1.ect) {
+        phase1.secondEct = phase1.ect;
+        phase1.secondMachine = phase1.machine;
+        phase1.machine = j;
+        phase1.ect = ect;
+      } else if (ect < phase1.secondEct) {
+        phase1.secondEct = ect;
+        phase1.secondMachine = j;
+      }
     }
   }
   if (phase1.machine != sim::kInvalidMachine &&
@@ -119,7 +160,12 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapImpl(
     const MappingContext& ctx, std::span<const sim::TaskId> batch,
     const ScoreFn& score, const KeyFn& withinTypeKey,
     const SaturatesFn& saturates) {
-  return ctx.persistent() && ctx.batchQueue() != nullptr
+  // An empty span from a persistent, queue-attached caller means "read the
+  // candidates off the queue" — the incremental path.  An explicit span
+  // (every throwaway context, and the adaptive engine's narrow rounds)
+  // runs the reference evaluation, which still benefits from whatever
+  // memos the context carries.
+  return ctx.persistent() && ctx.batchQueue() != nullptr && batch.empty()
              ? mapIncremental(ctx, score, withinTypeKey, saturates)
              : mapReference(ctx, batch, score);
 }
@@ -128,6 +174,16 @@ template <class ScoreFn>
 std::vector<Assignment> TwoPhaseBatchHeuristic::mapReference(
     const MappingContext& ctx, std::span<const sim::TaskId> batch,
     const ScoreFn& score) {
+  soaActive_ = false;
+  if (ctx.persistent()) {
+    // Adaptive narrow round: this evaluation virtually commits against its
+    // own round state, which leaves the memoized phase-1 table (and its
+    // lastReady_ baseline) inconsistent for the incremental path.  Poison
+    // the signature so the next incremental call starts from a clean
+    // table.  The bucket/journal sync state is untouched — the journal
+    // keeps recording through narrow rounds, so it stays replayable.
+    lastNumMachines_ = -1;
+  }
   const int m = ctx.numMachines();
   virtualReady_.resize(static_cast<std::size_t>(m));
   slots_.resize(static_cast<std::size_t>(m));
@@ -213,10 +269,28 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
   const auto numTypes = static_cast<std::size_t>(ctx.model().numTaskTypes());
   virtualReady_.resize(mz);
   slots_.resize(mz);
+  slotMask_.resize(mz);
+  ectScratch_.resize(mz);
+  eligibleCount_ = 0;
   for (sim::MachineId j = 0; j < m; ++j) {
-    virtualReady_[static_cast<std::size_t>(j)] = ctx.expectedReady(j);
-    slots_[static_cast<std::size_t>(j)] = ctx.freeSlots(j);
+    const auto jz = static_cast<std::size_t>(j);
+    slots_[jz] = ctx.freeSlots(j);
+    const bool eligible = slots_[jz] > 0;
+    // Ready times are priced only for machines a scan can pick: a masked
+    // lane's +inf poisons it before its ready value could matter, commits
+    // and improvement merges only touch eligible machines, and the next
+    // call's diff reads a lane's baseline only if the lane was eligible at
+    // this call's END — which implies eligible (so priced) here at entry.
+    // In the oversubscribed steady state this is the difference between
+    // repricing the whole cluster per event and repricing the one machine
+    // whose completion freed a slot.
+    virtualReady_[jz] = eligible ? ctx.expectedReady(j) : 0.0;
+    slotMask_[jz] =
+        eligible ? 0.0 : std::numeric_limits<double>::infinity();
+    eligibleCount_ += eligible ? 1u : 0u;
+    if (eligible) soleEligible_ = jz;
   }
+  soaActive_ = true;
   ++callGen_;
 
   // Decide which memoized phase-1 results survived the world's mutations
@@ -239,6 +313,15 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
     lastModel_ = &ctx.model();
     lastMachines_ = &ctx.machine(0);
     lastNumMachines_ = m;
+  } else if (ctx.now() != lastNow_) {
+    // A new mapping event re-anchors every ready time at the new `now`
+    // (conditional remaining means shift non-linearly), so the per-machine
+    // diff below lands in its "most machines moved" wholesale branch
+    // anyway — take it directly and skip the compare loop.  Wholesale
+    // staling is always identity-safe: a stale memo is rescanned, and a
+    // rescan is the ground truth.
+    std::fill(phase1Stale_.begin(), phase1Stale_.end(), char{1});
+    improvedScratch_.clear();
   } else {
     touched_.assign(mz, 0);
     improvedScratch_.clear();
@@ -304,8 +387,15 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
           if (pos < bucketHead_[typeIdx]) bucketHead_[typeIdx] = pos;
         }
       } else {
-        const auto it = std::lower_bound(bucket.begin(), bucket.end(),
-                                         probe, entryLess);
+        // Winners are bucket heads, so the task being removed is almost
+        // always the first live entry — check it before paying for a
+        // binary search over the whole bucket (seq stamps are unique, so
+        // a matching head IS the entry).
+        auto it = bucket.begin() + bucketHead_[typeIdx];
+        if (bucketHead_[typeIdx] >= bucket.size() || it->seq != je.seq) {
+          it = std::lower_bound(bucket.begin(), bucket.end(), probe,
+                                entryLess);
+        }
         if (it == bucket.end() || it->seq != je.seq ||
             it->assignedCall == kDeadEntry) {
           rebuild = true;  // defensive: journal and buckets disagree
@@ -363,6 +453,12 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
 
   std::vector<Assignment> result;
   while (!liveTypes_.empty()) {
+    // O(1) saturation guard (the reference's any_of over slots_): once the
+    // last virtual slot fills, every phase-1 scan would come back empty —
+    // skip the whole candidate sweep.  The memo table needs no repair: the
+    // commit that drained the last slot stale-marked its dependents, and
+    // staleness only ever forces a rescan, never a wrong answer.
+    if (eligibleCount_ == 0) break;
     best_.assign(mz, Candidate{});
     bool anyCandidate = false;
     for (std::size_t k = 0; k < liveTypes_.size();) {
@@ -447,6 +543,15 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
       if (c.task == sim::kInvalidTask) continue;
       result.push_back(Assignment{c.task, j});
       slots_[static_cast<std::size_t>(j)] -= 1;
+      if (slots_[static_cast<std::size_t>(j)] == 0) {
+        slotMask_[static_cast<std::size_t>(j)] =
+            std::numeric_limits<double>::infinity();
+        if (--eligibleCount_ == 1) {
+          for (std::size_t jz = 0; jz < mz; ++jz) {
+            if (slotMask_[jz] == 0.0) soleEligible_ = jz;
+          }
+        }
+      }
       virtualReady_[static_cast<std::size_t>(j)] +=
           ctx.expectedExec(static_cast<sim::TaskType>(c.bucketType), j);
       buckets_[static_cast<std::size_t>(c.bucketType)][c.bucketIndex]
@@ -475,6 +580,7 @@ std::vector<Assignment> TwoPhaseBatchHeuristic::mapIncremental(
   for (std::size_t j = 0; j < mz; ++j) {
     lastEligible_[j] = slots_[j] > 0 ? 1 : 0;
   }
+  lastNow_ = ctx.now();
   return result;
 }
 

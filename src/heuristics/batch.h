@@ -94,6 +94,15 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
   /// The two-phase loop with `score(ctx, task, phase1)` inlined at the
   /// call site; every concrete heuristic's map() delegates here.
   ///
+  /// Path selection: the incremental path runs iff the context is
+  /// persistent with an attached batch queue AND `batch` is empty — an
+  /// empty span is the scheduler's "read the candidates off the queue"
+  /// signal.  A persistent caller that passes an explicit candidate span
+  /// gets the reference evaluation against the persistent memos instead:
+  /// that is how the adaptive engine bypasses the delta bookkeeping below
+  /// its queue-depth threshold while keeping the trial-lifetime
+  /// ready/exec caches.  Both paths assign identically.
+  ///
   /// `withinTypeKey(ctx, task)` must order the tasks of one type exactly
   /// as the score does for ANY phase-1 result: score must be monotone
   /// non-decreasing in the key, and equal keys must give equal scores.
@@ -128,8 +137,12 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
 
   /// Minimum-ECT scan over the machines with free virtual slots; reads
   /// slots_ / virtualReady_.  The single source of the phase-1 arithmetic
-  /// for both paths.
-  Phase1Result scanPhase1(const MappingContext& ctx, sim::TaskType type) const;
+  /// for both paths.  On the incremental path (soaActive_) the ECTs for
+  /// all machines come from one prob::kernels::ectRow pass over the
+  /// contiguous ready / exec / slot-mask rows; the reference path keeps
+  /// the scalar per-machine loop.  Identical results either way (the
+  /// kernel's lane arithmetic is the scalar sum, see kernels.h).
+  Phase1Result scanPhase1(const MappingContext& ctx, sim::TaskType type);
 
   /// Marks stale every memoized phase-1 result whose winner or runner-up
   /// machine is in touched_.
@@ -157,6 +170,20 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
   std::vector<sim::TaskId> unmapped_;
   std::vector<Candidate> best_;
   std::vector<Candidate> winners_;
+  /// SoA companions of slots_ on the incremental path: mask[j] is 0.0
+  /// while machine j has free virtual slots and +inf once it does not, so
+  /// one ectRow pass prices every machine with ineligible lanes poisoned
+  /// to +inf; ectScratch_ receives the row.  eligibleCount_ mirrors the
+  /// number of zero-mask lanes — the O(1) "any virtual slot left" guard
+  /// that ends the round loop without another phase-1 sweep.
+  std::vector<double> slotMask_;
+  std::vector<double> ectScratch_;
+  std::size_t eligibleCount_ = 0;
+  /// Index of the only zero-mask lane while eligibleCount_ == 1 — the
+  /// oversubscribed steady state (one slot frees per completion), where
+  /// every phase-1 "scan" collapses to a single add.
+  std::size_t soleEligible_ = 0;
+  bool soaActive_ = false;  ///< scanPhase1 may read slotMask_/ectScratch_
   /// Phase-1 results memoized per task type (phase 1 reads only the
   /// virtual queue state and the task's type).  The reference path resets
   /// the stale flags wholesale every round; the incremental path clears
@@ -204,6 +231,10 @@ class TwoPhaseBatchHeuristic : public BatchHeuristic {
   /// survived the world's mutations.
   std::vector<double> lastReady_;
   std::vector<char> lastEligible_;
+  /// `now` of the previous call: a changed now re-anchors every ready
+  /// time, so the diff short-circuits to the wholesale-stale branch.
+  /// NaN compares unequal to everything — the first call always stales.
+  sim::Time lastNow_ = std::numeric_limits<double>::quiet_NaN();
   const void* lastModel_ = nullptr;
   const void* lastMachines_ = nullptr;
   int lastNumMachines_ = -1;

@@ -94,6 +94,26 @@ sim::Time MappingContext::expectedReady(sim::MachineId id) const {
   return ready;
 }
 
+const double* MappingContext::execRow(sim::TaskType type) const {
+  const auto t = static_cast<std::size_t>(type);
+  const auto m = static_cast<std::size_t>(numMachines());
+  double* row = execCache_.data() + t * m;
+  if (execRowFilled_.size() <= t) {
+    execRowFilled_.resize(
+        static_cast<std::size_t>(model_->numTaskTypes()), 0);
+  }
+  if (!execRowFilled_[t]) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (row[j] < 0.0) {
+        row[j] =
+            model_->expectedExec(type, static_cast<sim::MachineId>(j));
+      }
+    }
+    execRowFilled_[t] = 1;
+  }
+  return row;
+}
+
 sim::Time MappingContext::expectedCompletion(sim::TaskId task,
                                              sim::MachineId id) const {
   return expectedCompletionForType((*pool_)[task].type, id);

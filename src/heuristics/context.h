@@ -90,6 +90,15 @@ class MappingContext {
     return value;
   }
 
+  /// The machine-contiguous row of expectedExec values for `type` — the
+  /// SoA input of the phase-1 ECT kernel (prob::kernels::ectRow).  The
+  /// first call for a type fills its whole row at once (persistent
+  /// contexts amortize that over the trial, and the per-element -1
+  /// sentinel check disappears from the hot scan); the values are the
+  /// same memo expectedExec() reads, so the two access paths never
+  /// disagree.
+  const double* execRow(sim::TaskType type) const;
+
   MappingContext(MappingContext&&) = default;
   ~MappingContext();
 
@@ -132,6 +141,9 @@ class MappingContext {
   /// negative); the destructor recycles the buffers.
   mutable std::vector<double> readyCache_;
   mutable std::vector<double> execCache_;
+  /// Per-type "whole execCache_ row filled" flags for execRow(); sized
+  /// lazily on first use.
+  mutable std::vector<char> execRowFilled_;
   /// Persistent-mode validity stamps for readyCache_: an entry holds iff
   /// its generation equals readyGen_ (same `now`) and its epoch equals the
   /// machine's current queue epoch (no mutation since it was filled).

@@ -50,7 +50,9 @@ class BatchQueue {
     const std::uint64_t seq = nextArrivalSeq_++;
     entries_.push_back(Entry{task, seq, 0});
     ++liveCount_;
-    journal_.push_back(JournalEntry{JournalEntry::Op::Push, task, seq});
+    if (journalRecording_) {
+      journal_.push_back(JournalEntry{JournalEntry::Op::Push, task, seq});
+    }
   }
 
   bool contains(TaskId task) const {
@@ -65,8 +67,10 @@ class BatchQueue {
     posByTask_[static_cast<std::size_t>(task)] = kNoPos;
     entries_[pos].task = kInvalidTask;
     --liveCount_;
-    journal_.push_back(
-        JournalEntry{JournalEntry::Op::Remove, task, entries_[pos].arrivalSeq});
+    if (journalRecording_) {
+      journal_.push_back(JournalEntry{JournalEntry::Op::Remove, task,
+                                      entries_[pos].arrivalSeq});
+    }
     maybeCompact();
   }
 
@@ -124,6 +128,20 @@ class BatchQueue {
   /// journal position from another generation must rebuild from scratch.
   std::uint64_t resetGeneration() const { return resetGen_; }
 
+  /// Turns mutation recording off (and back on) for queues nobody will
+  /// ever replay — the reference engine and non-queue-consuming heuristics
+  /// otherwise pay an append (and the journal's unbounded growth) per
+  /// mutation for nothing.  Re-enabling counts as discarding history:
+  /// mutations made while recording was off are gone, so consumers holding
+  /// a position must rebuild — the reset generation is bumped to force it.
+  void setJournalRecording(bool on) {
+    if (on && !journalRecording_) {
+      journal_.clear();
+      ++resetGen_;
+    }
+    journalRecording_ = on;
+  }
+
   void clear() {
     for (const Entry& e : entries_) {
       if (e.task != kInvalidTask) {
@@ -163,6 +181,7 @@ class BatchQueue {
   std::vector<std::uint32_t> posByTask_;
   std::vector<JournalEntry> journal_;
   std::size_t liveCount_ = 0;
+  bool journalRecording_ = true;
   std::uint64_t eventGen_ = 1;
   std::uint64_t nextArrivalSeq_ = 0;
   std::uint64_t resetGen_ = 0;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/scheduler.h"
@@ -73,13 +74,22 @@ TEST_P(EngineEquivalence, IdenticalTracesAcrossEnginesPruningAndCache) {
                              : pruning::PruningConfig::disabled();
       config.pctCacheEnabled = cache;
       config.warmupMargin = 0;
-      const TrialDigest incremental =
-          runTrial(config, scenario.hetero(), wl, true);
       const TrialDigest reference =
           runTrial(config, scenario.hetero(), wl, false);
-      EXPECT_EQ(incremental, reference)
-          << GetParam() << " diverged (prune=" << prune
-          << ", cache=" << cache << ")";
+      // Adaptive default AND forced-incremental (threshold 0): queues at
+      // this test scale may never reach the default threshold, so without
+      // the forced run the wide (incremental) evaluation would silently go
+      // untested here and only the narrow reference rounds would run.
+      for (const std::size_t minQueue :
+           {core::SimulationConfig{}.incrementalMapMinQueue,
+            std::size_t{0}}) {
+        config.incrementalMapMinQueue = minQueue;
+        const TrialDigest incremental =
+            runTrial(config, scenario.hetero(), wl, true);
+        EXPECT_EQ(incremental, reference)
+            << GetParam() << " diverged (prune=" << prune
+            << ", cache=" << cache << ", minQueue=" << minQueue << ")";
+      }
     }
   }
 }
@@ -127,6 +137,76 @@ TEST(EngineEquivalenceTest, AbortHeavyConfigurationMatches) {
   const TrialDigest reference =
       runTrial(config, scenario.hetero(), wl, false);
   EXPECT_EQ(incremental, reference);
+}
+
+// --- Adaptive-engine model check ---------------------------------------------
+
+TEST(AdaptiveEngineModelCheck, ThresholdCrossingsPreserveTraceIdentity) {
+  // Randomized burst trains built to drive the batch-queue depth back and
+  // forth across the adaptive threshold mid-trial: deep bursts (well above
+  // the default) force wide incremental rounds, trickle stretches drain
+  // the queue below it and force narrow reference rounds, and every
+  // crossing exercises the narrow→wide memo-poisoning handoff.  For each
+  // seed, the adaptive engine must produce the byte-identical lifecycle
+  // trace of BOTH fixed engines (always-incremental via threshold 0, and
+  // the reference engine).
+  exp::PaperScenario::Options options;
+  options.scale = 0.03;
+  const exp::PaperScenario scenario(options);
+  const workload::BoundExecutionModel& cluster = scenario.hetero();
+  const int numTypes = cluster.numTaskTypes();
+  const std::size_t defaultMinQueue =
+      core::SimulationConfig{}.incrementalMapMinQueue;
+  ASSERT_GT(defaultMinQueue, 0u)
+      << "default threshold is 0; the adaptive leg would equal forced";
+
+  double meanExec = 0.0;
+  for (int k = 0; k < numTypes; ++k) {
+    for (int j = 0; j < cluster.numMachines(); ++j) {
+      meanExec += cluster.expectedExec(k, j);
+    }
+  }
+  meanExec /= static_cast<double>(numTypes * cluster.numMachines());
+
+  for (const std::uint64_t seed : {1ULL, 29ULL, 9001ULL}) {
+    std::uint64_t lcg = seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull;
+    const auto rnd = [&lcg](std::uint64_t bound) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return (lcg >> 33) % bound;
+    };
+    std::vector<workload::TaskSpec> specs;
+    double t = 0.0;
+    while (specs.size() < 400) {
+      // Deep burst: 2–4x the threshold lands in one mapping event.
+      // Trickle: 1–4 tasks, then a drain pause several service times long.
+      const bool deep = rnd(2) == 0;
+      const std::size_t n =
+          deep ? defaultMinQueue * 2 + rnd(defaultMinQueue * 2)
+               : 1 + rnd(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto type = static_cast<sim::TaskType>(rnd(
+            static_cast<std::uint64_t>(numTypes)));
+        const double arrival = t + static_cast<double>(i) * 1e-7;
+        // Deadlines from tight (drops/defers) to comfortable.
+        const double deadline =
+            arrival + meanExec * (0.5 + static_cast<double>(rnd(8)));
+        specs.push_back(workload::TaskSpec{type, arrival, deadline, 1.0});
+      }
+      t += meanExec * (deep ? static_cast<double>(2 + rnd(6)) : 0.25);
+    }
+    const workload::Workload wl(std::move(specs), numTypes);
+
+    core::SimulationConfig config;
+    config.heuristic = "MM";
+    config.warmupMargin = 0;
+    const TrialDigest adaptive = runTrial(config, cluster, wl, true);
+    config.incrementalMapMinQueue = 0;
+    const TrialDigest forcedIncremental = runTrial(config, cluster, wl, true);
+    const TrialDigest reference = runTrial(config, cluster, wl, false);
+    ASSERT_GT(adaptive.mappingEvents, 0u);
+    EXPECT_EQ(adaptive, reference) << "seed " << seed;
+    EXPECT_EQ(forcedIncremental, reference) << "seed " << seed;
+  }
 }
 
 // --- Hand-built world harness ------------------------------------------------

@@ -4,8 +4,9 @@
 //    TaskSpec sequences, deadlines included — for all three arrival
 //    patterns.
 //  - ORACLE: a streamed trial is result-identical to the materialized trial
-//    across mapping engines (incremental and reference), immediate and
-//    batch heuristics, warm-up trimming, active machine churn + retry,
+//    across mapping engines (adaptive, forced-incremental, and reference —
+//    whose streamed digests must also all agree with EACH OTHER), immediate
+//    and batch heuristics, warm-up trimming, active machine churn + retry,
 //    an acting elastic controller, and the federation (N=1 and N=3).
 //  - The experiment layer produces identical aggregates when stream.enabled
 //    flips, single-cluster and federated.
@@ -170,20 +171,38 @@ TEST_P(StreamedTrialOracle, MatchesMaterializedAcrossEngineConfigs) {
   const workload::ArrivalSpec arrival = scenario.arrivalSpec(
       exp::PaperScenario::kRate25k, workload::ArrivalPattern::Spiky);
 
+  // kDefaultMinQueue leaves the adaptive threshold at its config default;
+  // 0 forces every round down the incremental path — without it, trials at
+  // test scale (whose queues can stay under the default threshold) would
+  // exercise only the narrow-round evaluation.
+  constexpr std::size_t kDefaultMinQueue = static_cast<std::size_t>(-1);
   struct EngineConfig {
     const char* label;
     bool incremental;
+    std::size_t minQueue;
     bool pctCache;
     bool abortOverdue;
     std::size_t warmup;
   };
+  // The first three legs differ only in digest-preserving engine knobs, so
+  // beyond each one's materialized == streamed oracle, their *streamed*
+  // digests must also agree with each other — the cross-engine leg of the
+  // byte-identity oracle (a streamed reference run is the paper's reading;
+  // a streamed adaptive/incremental run must not drift from it).
+  bool haveCrossEngine = false;
+  ResultDigest crossEngine;
   for (const EngineConfig& ec :
-       {EngineConfig{"incremental", true, true, false, 0},
-        EngineConfig{"reference", false, false, false, 0},
-        EngineConfig{"abort+warmup", true, true, true, 50}}) {
+       {EngineConfig{"adaptive", true, kDefaultMinQueue, true, false, 0},
+        EngineConfig{"incremental", true, 0, true, false, 0},
+        EngineConfig{"reference", false, kDefaultMinQueue, false, false, 0},
+        EngineConfig{"abort+warmup", true, kDefaultMinQueue, true, true,
+                     50}}) {
     core::SimulationConfig config;
     config.heuristic = GetParam();
     config.incrementalMappingEnabled = ec.incremental;
+    if (ec.minQueue != kDefaultMinQueue) {
+      config.incrementalMapMinQueue = ec.minQueue;
+    }
     config.pctCacheEnabled = ec.pctCache;
     config.abortRunningAtDeadline = ec.abortOverdue;
     config.warmupMargin = ec.warmup;
@@ -191,6 +210,16 @@ TEST_P(StreamedTrialOracle, MatchesMaterializedAcrossEngineConfigs) {
         runBothWays(scenario, scenario.hetero(), arrival, config, 7);
     EXPECT_EQ(materialized, streamed)
         << GetParam() << " diverged when streamed (" << ec.label << ")";
+    if (!ec.abortOverdue && ec.warmup == 0) {
+      if (!haveCrossEngine) {
+        crossEngine = streamed;
+        haveCrossEngine = true;
+      } else {
+        EXPECT_EQ(crossEngine, streamed)
+            << GetParam() << " streamed engines diverged from each other ("
+            << ec.label << " vs adaptive)";
+      }
+    }
   }
 }
 

@@ -4,7 +4,10 @@
 Each bench binary writes a flat JSON object (see bench/bench_util.h).  This
 script diffs a curated set of tracked metrics against the committed numbers
 under bench/baselines/ and fails (exit 1) when a metric regressed by more
-than the threshold (default 15%).  Metrics move with container weather, so
+than the threshold (default 15%), or when a metric with an absolute FLOOR
+(e.g. every mapping-engine speedup_* must stay >= 1.0) dips below it on the
+current artifact regardless of the baseline.  Metrics move with container
+weather, so
 the tracked set sticks to ratios and relative costs that are stable across
 machines rather than raw wall-clock where possible.
 
@@ -66,6 +69,19 @@ TRACKED = {
     },
 }
 
+# Absolute floors, checked on the CURRENT artifact alone — no baseline, no
+# threshold slack.  Every field whose name starts with the prefix must stay
+# >= the floor.  The mapping-engine entry is the adaptive-engine contract
+# itself: the shipped engine must never be slower than the reference engine
+# at ANY measured burst size, regardless of what the committed baseline
+# says.  ("event_speedup_*" fields are deliberately NOT matched: the whole-
+# event ratio is diluted by simulation substrate shared between engines.)
+FLOORS = {
+    "BENCH_mapping_engine.json": {
+        "speedup_": 1.0,
+    },
+}
+
 
 def load(path):
     with open(path) as f:
@@ -88,12 +104,26 @@ def main():
         if not os.path.exists(current_path):
             print(f"skip  {artifact}: not produced in {args.current_dir}")
             continue
+        current = load(current_path)
+        # Floors are checked before (and independently of) the baseline
+        # diff: an absolute contract violation must fail even on a machine
+        # whose committed baseline is missing or stale.
+        for prefix, floor in FLOORS.get(artifact, {}).items():
+            for metric in sorted(current):
+                if not metric.startswith(prefix):
+                    continue
+                value = float(current[metric])
+                compared += 1
+                ok = value >= floor
+                print(f"{'ok' if ok else 'FAIL':4}  {artifact}:{metric}  "
+                      f"floor {floor:g}  current {value:g}")
+                if not ok:
+                    failures.append(f"{artifact}:{metric}<floor")
         if not os.path.exists(baseline_path):
             print(f"FAIL  {artifact}: no committed baseline in "
                   f"{args.baseline_dir} — commit one")
             failures.append(f"{artifact}:missing-baseline")
             continue
-        current = load(current_path)
         baseline = load(baseline_path)
         for metric, direction in metrics.items():
             if metric not in current or metric not in baseline:
@@ -119,8 +149,8 @@ def main():
         print("no metrics compared — nothing produced or no baselines")
     if failures:
         print(f"\nbench_compare: {len(failures)} check(s) failed (regression "
-              f">{args.threshold * 100:.0f}% or missing baseline): "
-              f"{', '.join(failures)}")
+              f">{args.threshold * 100:.0f}%, floor violation, or missing "
+              f"baseline): {', '.join(failures)}")
         return 1
     print(f"\nbench_compare: {compared} tracked metric(s) within threshold")
     return 0

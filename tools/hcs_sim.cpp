@@ -76,6 +76,9 @@ void usage(const char* argv0, std::FILE* out) {
       "  --abort-overdue    abort running tasks at their deadline\n"
       "  --no-pct-cache     disable PCT memoization (results identical)\n"
       "  --no-incremental-map  use the reference mapping engine\n"
+      "  --map-min-queue N  adaptive engine: rounds with fewer than N\n"
+      "                     queued tasks use the reference evaluation\n"
+      "                     (0 = always incremental; default 16)\n"
       "  --stream           streamed arrivals: generate tasks as the trial\n"
       "                     reaches them (bounded memory, same results)\n"
       "  --trace FILE       replay a saved workload trace (single trial)\n"
@@ -388,6 +391,8 @@ int legacyMain(int argc, char** argv) {
       sim.pctCacheEnabled = false;
     } else if (arg == "--no-incremental-map") {
       sim.incrementalMappingEnabled = false;
+    } else if (arg == "--map-min-queue") {
+      sim.incrementalMapMinQueue = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--stream") {
       stream = true;
     } else if (arg == "--trace") {
